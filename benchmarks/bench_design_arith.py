@@ -1,0 +1,92 @@
+"""Experiment D-arith — software arithmetic (Section 4.3 + Table 1 fallout).
+
+Compares, on the HCS12X-like (cache-less) configuration the lDivMod study
+targets:
+
+* the estimate-and-correct ``ldivmod`` routine, whose correction loop can only
+  be bounded by the designer-supplied worst case (65536 chunk steps for
+  unconstrained 32-bit operands) — its WCET bound explodes even though its
+  typical execution takes a single iteration;
+* the restoring division, bounded automatically at 32 iterations with a bound
+  close to its observed time;
+* a filter kernel calling the division per sample vs. a fixed-point rewrite.
+
+Shape: WCET(ldivmod) >> WCET(restoring) although the *observed* time of
+ldivmod is smaller; the fixed-point kernel beats the division-based kernel on
+both counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import TraceTimer, hcs12x_like
+from repro.ir import Interpreter
+from repro.workloads import arithmetic_suite
+from helpers import analyze, print_comparison
+
+
+def test_average_case_optimised_division_has_terrible_wcet():
+    processor = hcs12x_like()
+
+    ldivmod_program = arithmetic_suite.ldivmod_program()
+    restoring_program = arithmetic_suite.restoring_program()
+
+    ldivmod_report = analyze(
+        ldivmod_program,
+        processor=processor,
+        entry="ldivmod",
+        annotations=arithmetic_suite.ldivmod_annotations(),
+    )
+    restoring_report = analyze(restoring_program, processor=processor, entry="restoring_div")
+
+    # Observed execution times for a typical operand pair.
+    typical = (0x12345678, 0x00010001)
+    ldivmod_run = Interpreter(ldivmod_program).run("ldivmod", args=list(typical))
+    restoring_run = Interpreter(restoring_program).run("restoring_div", args=list(typical))
+    ldivmod_observed = TraceTimer(processor, ldivmod_program).time(ldivmod_run.trace)
+    restoring_observed = TraceTimer(processor, restoring_program).time(restoring_run.trace)
+
+    print_comparison(
+        "Software division on HCS12X-like (cycles)",
+        [
+            ("ldivmod WCET bound (worst-case annotation)", ldivmod_report.wcet_cycles),
+            ("restoring WCET bound (automatic)", restoring_report.wcet_cycles),
+            ("ldivmod observed (typical operands)", ldivmod_observed.cycles),
+            ("restoring observed (typical operands)", restoring_observed.cycles),
+            ("WCET ratio ldivmod/restoring", f"{ldivmod_report.wcet_cycles / restoring_report.wcet_cycles:.0f}x"),
+        ],
+    )
+
+    # Functional agreement.
+    assert ldivmod_run.return_value == restoring_run.return_value == typical[0] // typical[1]
+    # Shape: the average-case-optimised routine is faster in the typical run...
+    assert ldivmod_observed.cycles < restoring_observed.cycles
+    # ...but its WCET bound is orders of magnitude worse.
+    assert ldivmod_report.wcet_cycles > 50 * restoring_report.wcet_cycles
+
+
+def test_fixed_point_kernel_beats_division_kernel():
+    processor = hcs12x_like()
+    division = analyze(
+        arithmetic_suite.division_filter_program(),
+        processor=processor,
+        annotations=arithmetic_suite.division_filter_annotations(),
+    )
+    fixed_point = analyze(arithmetic_suite.fixedpoint_filter_program(), processor=processor)
+    print_comparison(
+        "Filter kernel: division-based vs. fixed-point (HCS12X-like)",
+        [
+            ("division-based kernel WCET", f"{division.wcet_cycles} cycles"),
+            ("fixed-point kernel WCET", f"{fixed_point.wcet_cycles} cycles"),
+            ("ratio", f"{division.wcet_cycles / fixed_point.wcet_cycles:.0f}x"),
+        ],
+    )
+    assert division.wcet_cycles > 10 * fixed_point.wcet_cycles
+
+
+def test_benchmark_ldivmod_wcet_analysis(benchmark):
+    program = arithmetic_suite.ldivmod_program()
+    annotations = arithmetic_suite.ldivmod_annotations()
+    processor = hcs12x_like()
+    benchmark(lambda: analyze(program, processor=processor, entry="ldivmod", annotations=annotations))

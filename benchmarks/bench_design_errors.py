@@ -1,0 +1,65 @@
+"""Experiment D-err — error handling (Section 4.3).
+
+The monitor task is analysed under three assumptions about its four error
+handlers:
+
+1. nothing documented — all handlers may fire in one activation (the safe but
+   "rather uncommon or simply infeasible" assumption);
+2. documented single-fault scenario — at most one handler per activation;
+3. error handling excluded from this task's worst case.
+
+Shape: 1 > 2 > 3, with the single-fault scenario removing roughly three of the
+four handler executions from the bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import leon2_like
+from repro.workloads import error_handling
+from helpers import analyze, print_comparison
+
+
+@pytest.fixture(scope="module")
+def reports():
+    program = error_handling.program()
+    annotations = error_handling.annotations()
+    processor = leon2_like()
+    return {
+        "all errors at once": analyze(
+            program, processor=processor, annotations=annotations, entry="monitor"
+        ),
+        "single-fault scenario": analyze(
+            program, processor=processor, annotations=annotations, entry="monitor",
+            error_scenario="single_fault",
+        ),
+        "errors excluded": analyze(
+            program, processor=processor, annotations=annotations, entry="monitor",
+            error_scenario="errors_excluded",
+        ),
+    }
+
+
+def test_error_scenarios_tighten_the_bound(reports):
+    bounds = {name: report.wcet_cycles for name, report in reports.items()}
+    rows = [(name, f"{value} cycles") for name, value in bounds.items()]
+    rows.append(
+        ("single-fault gain", f"{bounds['all errors at once'] / bounds['single-fault scenario']:.2f}x")
+    )
+    print_comparison("Error handling scenarios: monitor task (LEON2-like)", rows)
+
+    assert bounds["single-fault scenario"] < bounds["all errors at once"]
+    assert bounds["errors excluded"] < bounds["single-fault scenario"]
+    # Four handlers vs. one: expect at least a 2x gain from the scenario.
+    assert bounds["all errors at once"] > 2 * bounds["single-fault scenario"]
+
+
+def test_benchmark_error_scenario_analysis(benchmark):
+    program = error_handling.program()
+    annotations = error_handling.annotations()
+    benchmark(
+        lambda: analyze(
+            program, annotations=annotations, entry="monitor", error_scenario="single_fault"
+        )
+    )

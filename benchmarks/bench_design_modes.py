@@ -1,0 +1,54 @@
+"""Experiment D-modes — operating modes (Section 4.3).
+
+The flight-control task is analysed once without mode information and once per
+operating mode.  Shape from the paper: the mode-unaware bound equals the bound
+of the most expensive mode (here: in-air), while the per-mode bound of the
+cheap mode (on-ground) is several times tighter — mode knowledge is pure
+precision gain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import leon2_like
+from repro.workloads import flight_control
+from helpers import analyze, print_comparison
+
+
+@pytest.fixture(scope="module")
+def reports():
+    program = flight_control.program()
+    annotations = flight_control.annotations()
+    processor = leon2_like()
+    return {
+        mode: analyze(program, processor=processor, annotations=annotations, mode=mode)
+        for mode in (None, "ground", "air")
+    }
+
+
+def test_mode_specific_bounds_are_tighter(reports):
+    unaware = reports[None].wcet_cycles
+    ground = reports["ground"].wcet_cycles
+    air = reports["air"].wcet_cycles
+    print_comparison(
+        "Operating modes: flight-control task (LEON2-like)",
+        [
+            ("mode-unaware bound", f"{unaware} cycles"),
+            ("ground-mode bound", f"{ground} cycles"),
+            ("air-mode bound", f"{air} cycles"),
+            ("ground-mode tightening", f"{unaware / ground:.1f}x"),
+        ],
+    )
+    # Every mode-specific bound is at most the mode-unaware bound.
+    assert ground <= unaware and air <= unaware
+    # The worst mode dominates the unaware bound (they coincide here).
+    assert max(ground, air) == unaware
+    # The cheap mode is dramatically (>= 3x) tighter.
+    assert unaware >= 3 * ground
+
+
+def test_benchmark_mode_analysis(benchmark):
+    program = flight_control.program()
+    annotations = flight_control.annotations()
+    benchmark(lambda: analyze(program, annotations=annotations, mode="ground"))

@@ -1,0 +1,61 @@
+"""Experiment F1 — Figure 1: the phase structure of the WCET analyzer.
+
+Runs the complete analysis of the message-handler workload and reports what
+each phase of Figure 1 produced (basic blocks, loop bounds, cache
+classifications, block times, the path-analysis bound) together with its
+wall-clock share, demonstrating that the pipeline of the paper's Figure 1 is
+implemented end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import leon2_like
+from repro.workloads import message_handler
+from helpers import analyze, print_comparison
+
+
+@pytest.fixture(scope="module")
+def report():
+    return analyze(
+        message_handler.program(),
+        processor=leon2_like(),
+        annotations=message_handler.annotations(),
+        entry="handle_message",
+    )
+
+
+def test_all_phases_execute_and_produce_artifacts(report):
+    phases = {timing.phase for timing in report.phases}
+    assert {"decoding", "loop/value analysis", "cache analysis",
+            "pipeline analysis", "path analysis"} <= phases
+
+    entry = report.entry_report
+    rows = [
+        ("WCET bound [cycles]", report.wcet_cycles),
+        ("BCET bound [cycles]", report.bcet_cycles),
+        ("basic blocks timed", len(entry.block_times)),
+        ("loops bounded", len([l for l in entry.loop_reports if l.bound is not None])),
+        ("instruction cache summary", entry.icache_summary),
+        ("data cache summary", entry.dcache_summary),
+    ]
+    print_comparison("Figure 1 pipeline products (message handler, LEON2-like)", rows)
+    print("\nper-phase wall clock:")
+    for timing in report.phases:
+        print(f"  {timing.phase:<22s} {timing.seconds * 1000:8.2f} ms")
+
+    assert report.wcet_cycles > report.bcet_cycles > 0
+    assert entry.block_times and entry.loop_reports
+
+
+def test_benchmark_full_analysis(benchmark):
+    """End-to-end analysis latency of the Figure 1 pipeline."""
+    benchmark(
+        lambda: analyze(
+            message_handler.program(),
+            processor=leon2_like(),
+            annotations=message_handler.annotations(),
+            entry="handle_message",
+        )
+    )

@@ -1,0 +1,75 @@
+"""Experiments R16.1 and R16.2 — function-shape MISRA rules.
+
+* rule 16.1 (variadic functions): the argument-processing loop depends on the
+  caller-supplied count; without a documented argument range no bound exists.
+* rule 16.2 (recursion): the recursive variant needs a recursion-depth
+  annotation and its bound grows with the annotated depth, while the iterative
+  rewrite is bounded automatically and more tightly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CFGError, UnboundedLoopError
+from repro.guidelines import GuidelineChecker
+from repro.workloads import functions_suite
+from helpers import analyze, print_comparison
+
+
+def test_rule_16_1_variadic_needs_argument_annotation():
+    variadic = functions_suite.variadic_program()
+    fixed = functions_suite.fixed_arity_program()
+
+    with pytest.raises(UnboundedLoopError):
+        analyze(variadic, entry="sum_values")
+    annotated = analyze(
+        variadic, entry="sum_values", annotations=functions_suite.variadic_annotations()
+    )
+    automatic = analyze(fixed, entry="sum_values")
+    findings = GuidelineChecker().check_source(functions_suite.VARIADIC_SOURCE)
+    print_comparison(
+        "MISRA rule 16.1: variadic argument processing",
+        [
+            ("variadic, no annotation", "no bound (data-dependent loop)"),
+            ("variadic + argument-count range", f"{annotated.wcet_cycles} cycles"),
+            ("fixed-arity rewrite (automatic)", f"{automatic.wcet_cycles} cycles"),
+            ("rule 16.1 findings", findings.count("16.1")),
+        ],
+    )
+    assert findings.count("16.1") == 1
+    assert annotated.wcet_cycles >= automatic.wcet_cycles
+
+
+def test_rule_16_2_recursion_needs_depth_annotation():
+    recursive = functions_suite.recursive_program()
+    iterative = functions_suite.iterative_program()
+
+    with pytest.raises(CFGError):
+        analyze(recursive)
+    shallow = analyze(recursive, annotations=functions_suite.recursion_annotations())
+    deep = analyze(
+        recursive, annotations=functions_suite.recursion_annotations(depth=32)
+    )
+    automatic = analyze(iterative)
+    findings = GuidelineChecker().check_source(functions_suite.RECURSIVE_SOURCE)
+    print_comparison(
+        "MISRA rule 16.2: recursion",
+        [
+            ("recursive, no annotation", "no bound (recursion cycle)"),
+            (f"recursive, depth {functions_suite.RECURSION_DEPTH + 1}", f"{shallow.wcet_cycles} cycles"),
+            ("recursive, depth 32 (over-documented)", f"{deep.wcet_cycles} cycles"),
+            ("iterative rewrite (automatic)", f"{automatic.wcet_cycles} cycles"),
+            ("rule 16.2 findings", findings.count("16.2")),
+        ],
+    )
+    assert findings.count("16.2") == 1
+    # Shape: the recursive bound exceeds the iterative one and grows with depth.
+    assert shallow.wcet_cycles > automatic.wcet_cycles
+    assert deep.wcet_cycles > shallow.wcet_cycles
+
+
+def test_benchmark_recursive_analysis(benchmark):
+    program = functions_suite.recursive_program()
+    annotations = functions_suite.recursion_annotations()
+    benchmark(lambda: analyze(program, annotations=annotations))

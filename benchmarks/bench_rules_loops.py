@@ -1,0 +1,61 @@
+"""Experiments R13.4 and R13.6 — loop-related MISRA rules.
+
+For each rule the bench compares a violating variant with a conforming
+rewrite:
+
+* rule 13.4 (float loop condition): the violating variant cannot be bounded
+  automatically and needs a manual loop-bound annotation; the conforming
+  variant is analysed fully automatically.
+* rule 13.6 (counter modified in the body): same pattern.
+
+The "shape" reproduced from the paper: violating the rule turns an
+automatically analysable loop into one that needs designer annotations
+(a tier-one challenge), while the conforming variant needs none.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnboundedLoopError
+from repro.guidelines import GuidelineChecker
+from repro.workloads import loops_suite
+from helpers import analyze, print_comparison
+
+
+@pytest.mark.parametrize("rule", ["13.4", "13.6"])
+def test_violation_defeats_automatic_loop_bounds(rule):
+    violating = loops_suite.violating_program(rule)
+    conforming = loops_suite.conforming_program(rule)
+
+    # The conforming variant is analysable without any annotation.
+    conforming_report = analyze(conforming)
+
+    # The violating variant is not...
+    with pytest.raises(UnboundedLoopError):
+        analyze(violating)
+
+    # ... until the designer supplies the loop bound manually.
+    annotated_report = analyze(violating, annotations=loops_suite.manual_annotations(rule))
+
+    # The source-level checker attributes the problem to the right rule.
+    findings = GuidelineChecker().check_source(loops_suite.VARIANTS[rule][0])
+    assert findings.count(rule) >= 1
+    assert GuidelineChecker().check_source(loops_suite.VARIANTS[rule][1]).count(rule) == 0
+
+    print_comparison(
+        f"MISRA rule {rule}: WCET analysability",
+        [
+            ("conforming variant (no annotations)", f"{conforming_report.wcet_cycles} cycles"),
+            ("violating variant (no annotations)", "no bound (unbounded loop)"),
+            ("violating variant + manual annotation", f"{annotated_report.wcet_cycles} cycles"),
+            ("rule findings on violating variant", findings.count(rule)),
+        ],
+    )
+    assert annotated_report.wcet_cycles > 0
+
+
+@pytest.mark.parametrize("rule", ["13.4", "13.6"])
+def test_benchmark_conforming_analysis(benchmark, rule):
+    program = loops_suite.conforming_program(rule)
+    benchmark(lambda: analyze(program))

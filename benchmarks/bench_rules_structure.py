@@ -1,0 +1,108 @@
+"""Experiments R14.1, R14.4, R14.5 and R20.7 — control-structure MISRA rules.
+
+* rule 14.1: leaving practically-dead code in the binary inflates the WCET
+  bound (the analysis has to include the path); removing it — or documenting
+  it as infeasible — recovers the tight bound.
+* rule 14.4: a goto jumping into a loop creates an irreducible loop that the
+  analysis can only handle with a manual bound; the structured rewrite is
+  bounded automatically.
+* rule 14.5: using ``continue`` has *no* impact — the paper's push-back — so
+  the violating and conforming variants get identical bounds.
+* rule 20.7: setjmp/longjmp usage is flagged as a tier-one finding by the
+  checker (the binary-level substitute stubs keep the program analysable, so
+  the experiment is reported at the source level).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotations import AnnotationSet
+from repro.errors import UnboundedLoopError
+from repro.guidelines import ChallengeTier, GuidelineChecker
+from repro.workloads import loops_suite, pointer_suite
+from helpers import analyze, print_comparison
+
+
+def test_rule_14_1_dead_code_inflates_the_bound():
+    violating = loops_suite.violating_program("14.1")
+    conforming = loops_suite.conforming_program("14.1")
+    inflated = analyze(violating)
+    tight = analyze(conforming)
+    documented = analyze(
+        violating,
+        annotations=AnnotationSet().add_infeasible(
+            "main", "debug_path", reason="debug dumps are disabled in production"
+        ),
+    )
+    print_comparison(
+        "MISRA rule 14.1: dead code and the WCET bound",
+        [
+            ("with practically-dead debug code", f"{inflated.wcet_cycles} cycles"),
+            ("dead code removed (conforming)", f"{tight.wcet_cycles} cycles"),
+            ("dead code kept but annotated infeasible", f"{documented.wcet_cycles} cycles"),
+        ],
+    )
+    assert inflated.wcet_cycles > tight.wcet_cycles
+    assert documented.wcet_cycles < inflated.wcet_cycles
+
+
+def test_rule_14_4_goto_requires_manual_bound():
+    violating = loops_suite.violating_program("14.4")
+    conforming = loops_suite.conforming_program("14.4")
+    with pytest.raises(UnboundedLoopError):
+        analyze(violating)
+    annotated = analyze(violating, annotations=loops_suite.manual_annotations("14.4"))
+    automatic = analyze(conforming)
+    report = analyze(violating, annotations=loops_suite.manual_annotations("14.4"))
+    irreducible_loops = [l for l in report.loop_reports() if l.irreducible]
+    print_comparison(
+        "MISRA rule 14.4: goto-made irreducible loop",
+        [
+            ("goto variant, no annotation", "no bound (irreducible loop)"),
+            ("goto variant + manual bound", f"{annotated.wcet_cycles} cycles"),
+            ("structured rewrite (automatic)", f"{automatic.wcet_cycles} cycles"),
+            ("irreducible loops detected", len(irreducible_loops)),
+        ],
+    )
+    assert irreducible_loops, "the goto variant must expose an irreducible loop"
+
+
+def test_rule_14_5_continue_is_harmless():
+    violating = analyze(loops_suite.violating_program("14.5"))
+    conforming = analyze(loops_suite.conforming_program("14.5"))
+    findings = GuidelineChecker().check_source(loops_suite.VARIANTS["14.5"][0])
+    continue_findings = findings.findings_for("14.5")
+    print_comparison(
+        "MISRA rule 14.5: continue vs. if/else rewrite",
+        [
+            ("loop using continue", f"{violating.wcet_cycles} cycles"),
+            ("if/else rewrite", f"{conforming.wcet_cycles} cycles"),
+            ("WCET impact attributed by checker",
+             continue_findings[0].challenge.value if continue_findings else "n/a"),
+        ],
+    )
+    # The paper's point: identical analysability and identical bounds.
+    assert violating.wcet_cycles == conforming.wcet_cycles
+    assert all(f.challenge is ChallengeTier.NONE for f in continue_findings)
+
+
+def test_rule_20_7_setjmp_flagged_as_tier_one():
+    findings = GuidelineChecker().check_source(pointer_suite.LONGJMP_SOURCE)
+    structured = GuidelineChecker().check_source(pointer_suite.STRUCTURED_ERROR_SOURCE)
+    jump_findings = findings.findings_for("20.7")
+    print_comparison(
+        "MISRA rule 20.7: setjmp/longjmp",
+        [
+            ("setjmp/longjmp findings", len(jump_findings)),
+            ("findings on structured rewrite", structured.count("20.7")),
+        ],
+    )
+    assert len(jump_findings) == 2
+    assert all(f.challenge is ChallengeTier.TIER_ONE for f in jump_findings)
+    assert structured.count("20.7") == 0
+
+
+def test_benchmark_structure_rule_analysis(benchmark):
+    program = loops_suite.conforming_program("14.5")
+    benchmark(lambda: analyze(program))

@@ -1,0 +1,77 @@
+"""Experiment S-singlepath — the single-path transformation (Section 2).
+
+The paper argues against the WCET-oriented single-path programming style of
+Puschner/Kirner on conventional processors: turning both alternatives of a
+branch into predicated code means every iteration fetches (and pays for) both
+paths, so the *worst case* gets worse even though the execution time becomes
+input independent.
+
+The bench analyses a branchy kernel and its predicated single-path version:
+
+* WCET(single-path) > WCET(branchy)  — the paper's claim;
+* the single-path variant's observed time is (nearly) input independent,
+  while the branchy variant's observed time varies with the data;
+* both variants compute identical results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import TraceTimer, simple_scalar
+from repro.ir import Interpreter
+from repro.workloads import arithmetic_suite
+from helpers import analyze, print_comparison
+
+ALL_POSITIVE = [5, 3, 9, 1, 7, 2, 8, 4]
+ALL_NEGATIVE = [-5, -3, -9, -1, -7, -2, -8, -4]
+MIXED = [5, -3, 9, -1, 7, -2, 8, -4]
+
+
+def _observed(program, values, processor):
+    run = Interpreter(program).run(initial_data={"values": values})
+    return TraceTimer(processor, program).time(run.trace).cycles, run.return_value
+
+
+def test_single_path_transformation_impairs_the_worst_case():
+    processor = simple_scalar()
+    branchy = arithmetic_suite.branchy_kernel()
+    single_path = arithmetic_suite.single_path_kernel()
+
+    branchy_report = analyze(branchy, processor=processor)
+    single_report = analyze(single_path, processor=processor)
+
+    branchy_times = {}
+    single_times = {}
+    for name, values in (("positive", ALL_POSITIVE), ("negative", ALL_NEGATIVE), ("mixed", MIXED)):
+        branchy_times[name], branchy_result = _observed(branchy, values, processor)
+        single_times[name], single_result = _observed(single_path, values, processor)
+        assert branchy_result == single_result, "the transformation must preserve results"
+
+    print_comparison(
+        "Single-path transformation (simple scalar processor)",
+        [
+            ("branchy kernel WCET bound", f"{branchy_report.wcet_cycles} cycles"),
+            ("single-path kernel WCET bound", f"{single_report.wcet_cycles} cycles"),
+            ("WCET overhead", f"{(single_report.wcet_cycles / branchy_report.wcet_cycles - 1) * 100:.0f}%"),
+            ("branchy observed (pos/neg/mixed)",
+             f"{branchy_times['positive']}/{branchy_times['negative']}/{branchy_times['mixed']}"),
+            ("single-path observed (pos/neg/mixed)",
+             f"{single_times['positive']}/{single_times['negative']}/{single_times['mixed']}"),
+        ],
+    )
+
+    # The paper's claim: the single-path variant's WCET is worse.
+    assert single_report.wcet_cycles > branchy_report.wcet_cycles
+    # The single-path variant's execution time is input independent ...
+    assert len(set(single_times.values())) == 1
+    # ... while the branchy variant's execution time varies with the input.
+    assert len(set(branchy_times.values())) > 1
+    # Soundness for both.
+    assert branchy_report.wcet_cycles >= max(branchy_times.values())
+    assert single_report.wcet_cycles >= max(single_times.values())
+
+
+def test_benchmark_single_path_analysis(benchmark):
+    program = arithmetic_suite.single_path_kernel()
+    benchmark(lambda: analyze(program))

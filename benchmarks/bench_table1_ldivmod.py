@@ -1,0 +1,62 @@
+"""Experiment T1 — Table 1: iteration-count histogram of lDivMod.
+
+Regenerates the paper's only quantitative table: the distribution of the
+number of approximation iterations of the software division routine over a
+large set of random 32-bit operand pairs, plus the prose claims around it
+("1 iteration in more than 99.8 %", "0, 1 or 2 in more than 99.999 %",
+rare inputs two orders of magnitude above the typical count).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arith import (
+    PAPER_TABLE1_ROWS,
+    RESTORING_ITERATIONS,
+    ldivmod,
+    restoring_divmod,
+    sample_iteration_histogram,
+)
+from helpers import table1_samples
+
+
+@pytest.fixture(scope="module")
+def histogram():
+    return sample_iteration_histogram(samples=table1_samples())
+
+
+def test_table1_shape_matches_paper(histogram):
+    """The qualitative claims of Table 1 hold for the reimplementation."""
+    print()
+    print(histogram.format_table())
+    print()
+    print("Paper's Table 1 (10^8 samples) for comparison:")
+    for label, frequency in PAPER_TABLE1_ROWS:
+        print(f"  {label:<12s} {frequency:>12d}")
+
+    # > 99.8 % of inputs take exactly one iteration.
+    assert histogram.fraction_exactly(1) > 0.998
+    # counts 0, 1 or 2 cover > 99.99 % (paper: > 99.999 % at 10^8 samples).
+    assert histogram.fraction_at_most(2) > 0.9999
+    # the tail exists but is thin: fewer than 0.01 % of samples above 3.
+    above_three = 1.0 - histogram.fraction_at_most(3)
+    assert above_three < 1e-4
+
+
+def test_worst_case_is_orders_of_magnitude_above_typical(histogram):
+    """Directed worst-case inputs dwarf the typical iteration count."""
+    worst = ldivmod(0xFFFF_FFFF, 3).iterations
+    print(f"\ndirected worst case ldivmod(0xffffffff, 3): {worst} iterations")
+    assert worst >= 100 * 1  # >= two orders of magnitude above the typical 1
+
+
+def test_restoring_division_iteration_count_is_constant():
+    """The predictable baseline always runs exactly 32 iterations."""
+    for dividend, divisor in ((0, 1), (123456, 7), (0xFFFFFFFF, 3), (5, 0xFFFFFFFF)):
+        assert restoring_divmod(dividend, divisor).iterations == RESTORING_ITERATIONS
+
+
+def test_benchmark_ldivmod_sampling(benchmark):
+    """Micro-benchmark of the sampling harness itself (per 10k samples)."""
+    benchmark(lambda: sample_iteration_histogram(samples=10_000))

@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper-style rows/series it regenerates (so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation section)
+and asserts the qualitative *shape* of the result — who wins, by roughly what
+factor — rather than absolute cycle numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.annotations import AnnotationSet
+from repro.hardware.processor import ProcessorConfig, leon2_like, simple_scalar
+from repro.ir.program import Program
+from repro.wcet import AnalysisOptions, WCETAnalyzer
+from repro.wcet.report import WCETReport
+
+
+def analyze(
+    program: Program,
+    processor: Optional[ProcessorConfig] = None,
+    annotations: Optional[AnnotationSet] = None,
+    entry: Optional[str] = None,
+    mode: Optional[str] = None,
+    error_scenario: Optional[str] = None,
+    options: Optional[AnalysisOptions] = None,
+) -> WCETReport:
+    """Run the WCET analyzer with sensible benchmark defaults."""
+    analyzer = WCETAnalyzer(
+        program,
+        processor or simple_scalar(),
+        annotations=annotations,
+        options=options,
+    )
+    return analyzer.analyze(entry=entry, mode=mode, error_scenario=error_scenario)
+
+
+def table1_samples(default: int = 200_000) -> int:
+    """Sample count for the Table 1 reproduction (override with REPRO_T1_SAMPLES)."""
+    return int(os.environ.get("REPRO_T1_SAMPLES", default))
+
+
+def print_comparison(title: str, rows) -> None:
+    """Print a small two-column comparison table."""
+    print()
+    print(title)
+    print("-" * len(title))
+    width = max(len(str(label)) for label, _ in rows)
+    for label, value in rows:
+        print(f"  {label:<{width}s} : {value}")

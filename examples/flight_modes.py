@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Operating modes (paper Section 4.3): per-mode WCET bounds of a flight task.
+
+The flight-control workload has a ground branch and an air branch guarded by a
+mode flag set elsewhere in the system.  Without design-level information the
+analyzer must assume either branch can run; with the documented operating
+modes it produces one — much tighter — bound per mode.
+"""
+
+from repro.hardware import leon2_like
+from repro.wcet import WCETAnalyzer
+from repro.workloads import flight_control
+
+
+def main() -> None:
+    program = flight_control.program()
+    annotations = flight_control.annotations()
+    analyzer = WCETAnalyzer(program, leon2_like(), annotations=annotations)
+
+    print("Flight-control task: WCET bound per operating mode")
+    print("---------------------------------------------------")
+    results = analyzer.analyze_all_modes()
+    unaware = results[None].wcet_cycles
+    for mode, report in results.items():
+        label = mode or "(mode unaware)"
+        gain = unaware / report.wcet_cycles
+        print(f"  {label:<16s} {report.wcet_cycles:>8d} cycles   ({gain:4.1f}x vs. mode-unaware)")
+
+    print()
+    print("The mode-unaware bound is dictated by the most expensive mode —")
+    print("documenting the modes costs nothing at run time and recovers the")
+    print("difference for every cheaper mode.")
+
+
+if __name__ == "__main__":
+    main()

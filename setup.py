@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .``) cannot build; this shim lets ``python setup.py develop``
+(or ``pip install -e . --no-build-isolation`` on machines with wheel) work.
+"""
+
+from setuptools import setup
+
+setup()

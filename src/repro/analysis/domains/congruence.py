@@ -1,0 +1,164 @@
+"""Congruence (stride) abstract domain.
+
+Values are described as ``offset + modulus * Z`` — e.g. a loop counter stepping
+by 4 from 8 is ``8 + 4Z``.  The domain complements the interval domain: the
+loop-bound analysis uses stride information to tighten iteration counts of
+loops whose counters step by more than one, and the cache analysis uses it to
+reason about the addresses touched by array traversals.
+
+``modulus == 0`` denotes a constant (only ``offset``); ``modulus == 1`` with
+``offset == 0`` is top (all integers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Congruence:
+    """The congruence class ``offset + modulus * Z`` (or bottom)."""
+
+    modulus: int = 1
+    offset: int = 0
+    is_bottom: bool = False
+
+    def __post_init__(self) -> None:
+        if self.is_bottom:
+            return
+        modulus = abs(self.modulus)
+        offset = self.offset % modulus if modulus else self.offset
+        object.__setattr__(self, "modulus", modulus)
+        object.__setattr__(self, "offset", offset)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def top() -> "Congruence":
+        return Congruence(1, 0)
+
+    @staticmethod
+    def bottom() -> "Congruence":
+        return Congruence(0, 0, is_bottom=True)
+
+    @staticmethod
+    def const(value: int) -> "Congruence":
+        return Congruence(0, value)
+
+    @property
+    def is_top(self) -> bool:
+        return not self.is_bottom and self.modulus == 1
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.is_bottom and self.modulus == 0
+
+    @property
+    def constant_value(self) -> Optional[int]:
+        return self.offset if self.is_constant else None
+
+    def contains(self, value: int) -> bool:
+        if self.is_bottom:
+            return False
+        if self.modulus == 0:
+            return value == self.offset
+        return (value - self.offset) % self.modulus == 0
+
+    # ------------------------------------------------------------------ #
+    # Lattice
+    # ------------------------------------------------------------------ #
+    def join(self, other: "Congruence") -> "Congruence":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        if self.is_constant and other.is_constant:
+            if self.offset == other.offset:
+                return self
+            return Congruence(abs(self.offset - other.offset), self.offset)
+        modulus = gcd(gcd(self.modulus, other.modulus), abs(self.offset - other.offset))
+        if modulus == 0:
+            return Congruence.const(self.offset)
+        return Congruence(modulus, self.offset)
+
+    def meet(self, other: "Congruence") -> "Congruence":
+        if self.is_bottom or other.is_bottom:
+            return Congruence.bottom()
+        if self.is_top:
+            return other
+        if other.is_top:
+            return self
+        if self.is_constant:
+            return self if other.contains(self.offset) else Congruence.bottom()
+        if other.is_constant:
+            return other if self.contains(other.offset) else Congruence.bottom()
+        # General meet via CRT when compatible.
+        g = gcd(self.modulus, other.modulus)
+        if (self.offset - other.offset) % g != 0:
+            return Congruence.bottom()
+        lcm = self.modulus // g * other.modulus
+        # Find a common representative by scanning one congruence class.
+        for k in range(other.modulus // g):
+            candidate = self.offset + k * self.modulus
+            if other.contains(candidate):
+                return Congruence(lcm, candidate)
+        return Congruence.bottom()
+
+    def includes(self, other: "Congruence") -> bool:
+        """True if every concrete value of ``other`` is contained in ``self``."""
+        if other.is_bottom:
+            return True
+        if self.is_bottom:
+            return False
+        if other.is_constant:
+            return self.contains(other.offset)
+        if self.is_constant:
+            return False
+        return other.modulus % self.modulus == 0 and self.contains(other.offset)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def add(self, other: "Congruence") -> "Congruence":
+        if self.is_bottom or other.is_bottom:
+            return Congruence.bottom()
+        return Congruence(gcd(self.modulus, other.modulus), self.offset + other.offset)
+
+    def neg(self) -> "Congruence":
+        if self.is_bottom:
+            return self
+        return Congruence(self.modulus, -self.offset)
+
+    def sub(self, other: "Congruence") -> "Congruence":
+        return self.add(other.neg())
+
+    def mul(self, other: "Congruence") -> "Congruence":
+        if self.is_bottom or other.is_bottom:
+            return Congruence.bottom()
+        if self.is_constant and other.is_constant:
+            return Congruence.const(self.offset * other.offset)
+        if self.is_constant:
+            return Congruence(other.modulus * abs(self.offset), other.offset * self.offset)
+        if other.is_constant:
+            return Congruence(self.modulus * abs(other.offset), self.offset * other.offset)
+        modulus = gcd(
+            self.modulus * other.modulus,
+            gcd(self.modulus * other.offset, other.modulus * self.offset),
+        )
+        return Congruence(modulus, self.offset * other.offset)
+
+    def shift_left(self, amount: "Congruence") -> "Congruence":
+        if self.is_bottom or amount.is_bottom:
+            return Congruence.bottom()
+        if amount.is_constant and 0 <= amount.offset <= 31:
+            return self.mul(Congruence.const(1 << amount.offset))
+        return Congruence.top()
+
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        if self.is_bottom:
+            return "⊥"
+        if self.is_constant:
+            return str(self.offset)
+        return f"{self.offset} + {self.modulus}Z"

@@ -1,0 +1,380 @@
+"""Abstract machine state: register values, memory cells and branch facts.
+
+The value analysis (:mod:`repro.analysis.value`) interprets instructions over
+:class:`AbstractState`, which combines
+
+* :class:`AbstractValue` per register — an interval plus the set of symbol
+  bases the value may be an address of (data objects, the stack, functions);
+* :class:`AbstractMemory` — a finite map of known memory cells addressed by
+  ``(base symbol, byte offset)``; every cell absent from the map is unknown.
+  A store through an unknown pointer *clobbers the whole memory map*, which is
+  precisely the precision disaster the paper describes for imprecise memory
+  accesses ("any write access to an unknown memory location destroys all known
+  information about memory during the value analysis phase");
+* predicate facts — which register currently holds the result of which
+  comparison, so conditional branches can refine operand intervals on their
+  outgoing edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
+
+from repro.analysis.domains.interval import Interval
+from repro.ir.instructions import Opcode
+
+#: Symbolic base representing the incoming stack pointer of the analysed function.
+STACK_BASE = "__sp__"
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """Abstract content of a register or memory cell.
+
+    ``interval`` describes the numeric value (or the offset relative to each
+    base in ``bases`` when the value is an address).  ``is_float`` marks values
+    produced by floating-point instructions: such values carry a top interval,
+    which is what makes float-controlled loops unboundable for the analysis
+    (MISRA rule 13.4 discussion).
+    """
+
+    interval: Interval = field(default_factory=Interval.top)
+    bases: FrozenSet[str] = frozenset()
+    is_float: bool = False
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def top() -> "AbstractValue":
+        return AbstractValue(Interval.top())
+
+    @staticmethod
+    def bottom() -> "AbstractValue":
+        return AbstractValue(Interval.bottom())
+
+    @staticmethod
+    def const(value: int) -> "AbstractValue":
+        return AbstractValue(Interval.const(value))
+
+    @staticmethod
+    def float_value() -> "AbstractValue":
+        return AbstractValue(Interval.top(), is_float=True)
+
+    @staticmethod
+    def address(base: str, offset: Interval = None) -> "AbstractValue":  # type: ignore[assignment]
+        if offset is None:
+            offset = Interval.const(0)
+        return AbstractValue(offset, frozenset({base}))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_top(self) -> bool:
+        return self.interval.is_top and not self.bases and not self.is_float
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.interval.is_bottom
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.bases and not self.is_float and self.interval.is_constant
+
+    @property
+    def constant_value(self) -> Optional[int]:
+        return self.interval.constant_value if self.is_constant else None
+
+    @property
+    def is_address(self) -> bool:
+        return bool(self.bases)
+
+    @property
+    def single_base(self) -> Optional[str]:
+        if len(self.bases) == 1:
+            return next(iter(self.bases))
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Lattice
+    # ------------------------------------------------------------------ #
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return AbstractValue(
+            self.interval.join(other.interval),
+            self.bases | other.bases,
+            self.is_float or other.is_float,
+        )
+
+    def widen(self, other: "AbstractValue") -> "AbstractValue":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return AbstractValue(
+            self.interval.widen(other.interval),
+            self.bases | other.bases,
+            self.is_float or other.is_float,
+        )
+
+    def includes(self, other: "AbstractValue") -> bool:
+        if other.is_bottom:
+            return True
+        if self.is_bottom:
+            return False
+        if other.is_float and not self.is_float:
+            return False
+        if not other.bases <= self.bases:
+            return False
+        return self.interval.includes(other.interval)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic (address-aware)
+    # ------------------------------------------------------------------ #
+    def add(self, other: "AbstractValue") -> "AbstractValue":
+        if self.is_float or other.is_float:
+            return AbstractValue.float_value()
+        return AbstractValue(
+            self.interval.add(other.interval), self.bases | other.bases
+        )
+
+    def sub(self, other: "AbstractValue") -> "AbstractValue":
+        if self.is_float or other.is_float:
+            return AbstractValue.float_value()
+        if self.bases and other.bases:
+            # pointer difference: numeric, no base survives
+            return AbstractValue(self.interval.sub(other.interval))
+        return AbstractValue(self.interval.sub(other.interval), self.bases)
+
+    def numeric(self, interval: Interval) -> "AbstractValue":
+        """Helper: a pure numeric value with the given interval."""
+        return AbstractValue(interval)
+
+    def with_interval(self, interval: Interval) -> "AbstractValue":
+        return replace(self, interval=interval)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_float:
+            return "float⊤"
+        text = str(self.interval)
+        if self.bases:
+            text = "+".join(sorted(self.bases)) + text
+        return text
+
+
+#: A predicate fact operand: a register name or an integer constant.
+FactOperand = Tuple[str, Union[str, int]]
+
+
+@dataclass(frozen=True)
+class PredicateFact:
+    """``register := lhs <relation> rhs`` — recorded at compare instructions."""
+
+    relation: Opcode
+    lhs: FactOperand
+    rhs: FactOperand
+
+    def mentions_register(self, register: str) -> bool:
+        return (self.lhs[0] == "reg" and self.lhs[1] == register) or (
+            self.rhs[0] == "reg" and self.rhs[1] == register
+        )
+
+
+class AbstractMemory:
+    """A finite map of known memory cells; everything else is unknown.
+
+    Cells are addressed by ``(base, offset)`` where ``base`` is a data-object
+    name, a function name or :data:`STACK_BASE` and ``offset`` is a byte
+    offset that must be a known constant for a strong update.
+    """
+
+    def __init__(self, cells: Optional[Dict[Tuple[str, int], AbstractValue]] = None):
+        self._cells: Dict[Tuple[str, int], AbstractValue] = dict(cells or {})
+
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "AbstractMemory":
+        return AbstractMemory(self._cells)
+
+    def cells(self) -> Dict[Tuple[str, int], AbstractValue]:
+        return dict(self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    # ------------------------------------------------------------------ #
+    def load(self, base: Optional[str], offset: Optional[int]) -> AbstractValue:
+        """Read a cell; unknown base or offset yields top."""
+        if base is None or offset is None:
+            return AbstractValue.top()
+        return self._cells.get((base, offset), AbstractValue.top())
+
+    def store_strong(self, base: str, offset: int, value: AbstractValue) -> None:
+        self._cells[(base, offset)] = value
+
+    def store_weak(self, base: str, value: AbstractValue) -> None:
+        """Weak update: the store may hit any cell of ``base``."""
+        for key in list(self._cells):
+            if key[0] == base:
+                self._cells[key] = self._cells[key].join(value)
+
+    def clobber_base(self, base: str) -> None:
+        """Forget everything known about cells of ``base``."""
+        for key in list(self._cells):
+            if key[0] == base:
+                del self._cells[key]
+
+    def clobber_all(self, keep_bases: Iterable[str] = ()) -> None:
+        """Forget all cells except those with a base in ``keep_bases``."""
+        keep = set(keep_bases)
+        for key in list(self._cells):
+            if key[0] not in keep:
+                del self._cells[key]
+
+    # ------------------------------------------------------------------ #
+    def join(self, other: "AbstractMemory") -> "AbstractMemory":
+        result: Dict[Tuple[str, int], AbstractValue] = {}
+        for key, value in self._cells.items():
+            if key in other._cells:
+                result[key] = value.join(other._cells[key])
+        return AbstractMemory(result)
+
+    def widen(self, other: "AbstractMemory") -> "AbstractMemory":
+        result: Dict[Tuple[str, int], AbstractValue] = {}
+        for key, value in self._cells.items():
+            if key in other._cells:
+                result[key] = value.widen(other._cells[key])
+        return AbstractMemory(result)
+
+    def includes(self, other: "AbstractMemory") -> bool:
+        """True if ``other`` is at least as precise as ``self`` on self's cells."""
+        for key, value in self._cells.items():
+            if key not in other._cells:
+                return False
+            if not value.includes(other._cells[key]):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AbstractMemory):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [
+            f"{base}+{offset}: {value}"
+            for (base, offset), value in sorted(self._cells.items())
+        ]
+        return "{" + ", ".join(parts) + "}"
+
+
+class AbstractState:
+    """Register file + memory + predicate facts at one program point."""
+
+    def __init__(
+        self,
+        registers: Optional[Dict[str, AbstractValue]] = None,
+        memory: Optional[AbstractMemory] = None,
+        facts: Optional[Dict[str, PredicateFact]] = None,
+        reachable: bool = True,
+    ):
+        self.registers: Dict[str, AbstractValue] = dict(registers or {})
+        self.memory: AbstractMemory = memory if memory is not None else AbstractMemory()
+        self.facts: Dict[str, PredicateFact] = dict(facts or {})
+        #: False for the unreachable (bottom) state.
+        self.reachable = reachable
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def unreachable() -> "AbstractState":
+        return AbstractState(reachable=False)
+
+    def copy(self) -> "AbstractState":
+        return AbstractState(
+            registers=dict(self.registers),
+            memory=self.memory.copy(),
+            facts=dict(self.facts),
+            reachable=self.reachable,
+        )
+
+    # ------------------------------------------------------------------ #
+    def get(self, register: str) -> AbstractValue:
+        return self.registers.get(register, AbstractValue.top())
+
+    def set(self, register: str, value: AbstractValue) -> None:
+        # Redefining a register kills every predicate fact that mentions it
+        # and the fact stored for the register itself.
+        self.registers[register] = value
+        self.facts.pop(register, None)
+        for holder in list(self.facts):
+            if self.facts[holder].mentions_register(register):
+                del self.facts[holder]
+
+    def set_fact(self, register: str, fact: PredicateFact) -> None:
+        self.facts[register] = fact
+
+    def havoc_registers(self, registers: Iterable[str]) -> None:
+        for register in registers:
+            self.set(register, AbstractValue.top())
+
+    # ------------------------------------------------------------------ #
+    # Lattice operations
+    # ------------------------------------------------------------------ #
+    def join(self, other: "AbstractState") -> "AbstractState":
+        if not self.reachable:
+            return other.copy()
+        if not other.reachable:
+            return self.copy()
+        registers: Dict[str, AbstractValue] = {}
+        for name in set(self.registers) | set(other.registers):
+            registers[name] = self.get(name).join(other.get(name))
+        facts = {
+            reg: fact
+            for reg, fact in self.facts.items()
+            if other.facts.get(reg) == fact
+        }
+        return AbstractState(registers, self.memory.join(other.memory), facts)
+
+    def widen(self, other: "AbstractState") -> "AbstractState":
+        if not self.reachable:
+            return other.copy()
+        if not other.reachable:
+            return self.copy()
+        registers: Dict[str, AbstractValue] = {}
+        for name in set(self.registers) | set(other.registers):
+            registers[name] = self.get(name).widen(other.get(name))
+        facts = {
+            reg: fact
+            for reg, fact in self.facts.items()
+            if other.facts.get(reg) == fact
+        }
+        return AbstractState(registers, self.memory.widen(other.memory), facts)
+
+    def includes(self, other: "AbstractState") -> bool:
+        """True if ``self`` over-approximates ``other`` (fixpoint check)."""
+        if not other.reachable:
+            return True
+        if not self.reachable:
+            return False
+        for name, value in self.registers.items():
+            if not value.includes(other.get(name)):
+                # self constrains `name` more than other does -> not an
+                # over-approximation
+                return False
+        # Registers not mentioned in self are top there, always including other.
+        for name in other.registers:
+            if name not in self.registers:
+                continue
+        if not set(self.facts.items()) <= set(other.facts.items()):
+            return False
+        return self.memory.includes(other.memory)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.reachable:
+            return "<unreachable>"
+        regs = ", ".join(
+            f"{name}={value}"
+            for name, value in sorted(self.registers.items())
+            if not value.is_top
+        )
+        return f"regs[{regs}] mem{self.memory}"

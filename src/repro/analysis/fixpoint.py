@@ -1,0 +1,182 @@
+"""Generic worklist fixpoint solver over control-flow graphs.
+
+The solver is parameterised over the abstract domain through three callbacks
+(transfer, join, widen) plus an inclusion check, and is shared by the value
+analysis and by the abstract cache analyses.  Widening is applied at the
+designated *widening points* (loop headers) once a node has been revisited
+``widen_after`` times, which guarantees termination for infinite-height
+domains such as intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Hashable, Iterable, List, Optional, Set, TypeVar
+
+from repro.errors import AnalysisError
+from repro.cfg.graph import ENTRY, EXIT, ControlFlowGraph
+
+State = TypeVar("State")
+
+
+@dataclass
+class FixpointResult(Generic[State]):
+    """Result of a forward fixpoint computation."""
+
+    #: Abstract state at the entry of each block.
+    block_in: Dict[int, State] = field(default_factory=dict)
+    #: Abstract state at the exit of each block (per outgoing edge).
+    edge_out: Dict[tuple, State] = field(default_factory=dict)
+    #: Number of worklist iterations performed.
+    iterations: int = 0
+
+
+class ForwardSolver(Generic[State]):
+    """Forward worklist solver with widening at selected nodes.
+
+    Parameters
+    ----------
+    cfg:
+        The control-flow graph to solve over.
+    transfer:
+        ``transfer(block_id, in_state) -> Dict[successor_id, out_state]``:
+        computes the state propagated along each outgoing edge (this lets
+        clients refine states differently on branch outcomes).
+    join:
+        Binary least-upper-bound on states.
+    widen:
+        Widening operator on states (old, new) -> widened.
+    includes:
+        ``includes(old, new)`` must return True when ``old`` already
+        over-approximates ``new`` (fixpoint reached for that node).
+    bottom:
+        Factory for the unreachable state.
+    widening_points:
+        Node ids at which widening (rather than join) is applied after
+        ``widen_after`` visits — typically the loop headers.
+    max_iterations:
+        Hard safety limit on total node evaluations.
+    """
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        transfer: Callable[[int, State], Dict[int, State]],
+        join: Callable[[State, State], State],
+        widen: Callable[[State, State], State],
+        includes: Callable[[State, State], bool],
+        bottom: Callable[[], State],
+        widening_points: Optional[Iterable[int]] = None,
+        widen_after: int = 2,
+        max_iterations: int = 100_000,
+    ):
+        self.cfg = cfg
+        self.transfer = transfer
+        self.join = join
+        self.widen = widen
+        self.includes = includes
+        self.bottom = bottom
+        self.widening_points: Set[int] = set(widening_points or ())
+        self.widen_after = widen_after
+        self.max_iterations = max_iterations
+
+    def solve(self, entry_state: State) -> FixpointResult[State]:
+        cfg = self.cfg
+        result: FixpointResult[State] = FixpointResult()
+        visits: Dict[int, int] = {}
+
+        block_in: Dict[int, State] = {}
+        entry_block = cfg.entry_block
+        block_in[entry_block] = entry_state
+
+        # Process blocks in reverse postorder for fast convergence.
+        order = cfg.reverse_postorder()
+        priority = {node: index for index, node in enumerate(order)}
+        worklist: List[int] = [entry_block]
+        in_worklist: Set[int] = {entry_block}
+
+        iterations = 0
+        while worklist:
+            # Pop the block with the smallest reverse-postorder index.
+            worklist.sort(key=lambda node: priority.get(node, len(priority)))
+            block = worklist.pop(0)
+            in_worklist.discard(block)
+
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise AnalysisError(
+                    f"fixpoint did not stabilise after {self.max_iterations} "
+                    f"iterations in function {cfg.function_name!r}"
+                )
+
+            in_state = block_in.get(block)
+            if in_state is None:
+                continue
+            out_states = self.transfer(block, in_state)
+
+            for successor, out_state in out_states.items():
+                result.edge_out[(block, successor)] = out_state
+                if successor == EXIT:
+                    continue
+                old = block_in.get(successor)
+                if old is None:
+                    block_in[successor] = out_state
+                    changed = True
+                else:
+                    if self.includes(old, out_state):
+                        changed = False
+                        new_state = old
+                    else:
+                        visits[successor] = visits.get(successor, 0) + 1
+                        if (
+                            successor in self.widening_points
+                            and visits[successor] >= self.widen_after
+                        ):
+                            new_state = self.widen(old, out_state)
+                        else:
+                            new_state = self.join(old, out_state)
+                        block_in[successor] = new_state
+                        changed = True
+                if changed and successor not in in_worklist:
+                    worklist.append(successor)
+                    in_worklist.add(successor)
+
+        result.block_in = block_in
+        result.iterations = iterations
+        return result
+
+
+def solve_backward(
+    cfg: ControlFlowGraph,
+    transfer: Callable[[int, State], State],
+    join: Callable[[State, State], State],
+    equal: Callable[[State, State], bool],
+    initial: Callable[[], State],
+    max_iterations: int = 100_000,
+) -> Dict[int, State]:
+    """Simple backward fixpoint (used by liveness); returns per-block OUT states."""
+    block_out: Dict[int, State] = {node: initial() for node in cfg.node_ids()}
+    block_in: Dict[int, State] = {node: initial() for node in cfg.node_ids()}
+    worklist = list(reversed(cfg.reverse_postorder()))
+    in_worklist = set(worklist)
+    iterations = 0
+    while worklist:
+        block = worklist.pop(0)
+        in_worklist.discard(block)
+        iterations += 1
+        if iterations > max_iterations:
+            raise AnalysisError("backward fixpoint did not stabilise")
+        out_state = initial()
+        for successor in cfg.successors(block):
+            if successor == EXIT:
+                continue
+            out_state = join(out_state, block_in[successor])
+        block_out[block] = out_state
+        new_in = transfer(block, out_state)
+        if not equal(new_in, block_in[block]):
+            block_in[block] = new_in
+            for predecessor in cfg.predecessors(block):
+                if predecessor != ENTRY and predecessor not in in_worklist:
+                    worklist.append(predecessor)
+                    in_worklist.add(predecessor)
+    return block_in

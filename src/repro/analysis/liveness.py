@@ -1,0 +1,83 @@
+"""Backward register liveness analysis.
+
+Liveness is not itself a WCET analysis, but it supports two users in this
+reproduction:
+
+* the mini-C code generator's register allocator sanity checks, and
+* the guideline/predictability reports, which flag dead stores (values
+  computed but never used) as a source of needless analysis work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.fixpoint import solve_backward
+from repro.cfg.graph import ControlFlowGraph
+from repro.ir.instructions import Instruction
+
+
+@dataclass
+class LivenessResult:
+    """Live registers at block boundaries plus dead-store information."""
+
+    function_name: str
+    live_in: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    live_out: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: Instructions whose defined register is never used afterwards.
+    dead_stores: List[Instruction] = field(default_factory=list)
+
+    def is_live_at_entry(self, block_id: int, register: str) -> bool:
+        return register in self.live_in.get(block_id, frozenset())
+
+
+def _block_use_def(block) -> Tuple[Set[str], Set[str]]:
+    uses: Set[str] = set()
+    defs: Set[str] = set()
+    for instr in block.instructions:
+        for register in instr.used_registers():
+            if register not in defs:
+                uses.add(register)
+        defined = instr.defined_register()
+        if defined is not None:
+            defs.add(defined)
+    return uses, defs
+
+
+def compute_liveness(cfg: ControlFlowGraph) -> LivenessResult:
+    """Compute per-block live-in/live-out register sets and dead stores."""
+    use_def = {block_id: _block_use_def(cfg.block(block_id)) for block_id in cfg.node_ids()}
+
+    def transfer(block_id: int, out_state: FrozenSet[str]) -> FrozenSet[str]:
+        uses, defs = use_def[block_id]
+        return frozenset(uses | (set(out_state) - defs))
+
+    live_in = solve_backward(
+        cfg,
+        transfer=transfer,
+        join=lambda a, b: a | b,
+        equal=lambda a, b: a == b,
+        initial=frozenset,
+    )
+
+    result = LivenessResult(function_name=cfg.function_name)
+    result.live_in = dict(live_in)
+    for block_id in cfg.node_ids():
+        out: Set[str] = set()
+        for successor in cfg.successors(block_id):
+            out |= set(live_in.get(successor, frozenset()))
+        result.live_out[block_id] = frozenset(out)
+
+    # Dead stores: walk each block backwards tracking locally-live registers.
+    for block_id in cfg.node_ids():
+        block = cfg.block(block_id)
+        live = set(result.live_out[block_id])
+        for instr in reversed(block.instructions):
+            defined = instr.defined_register()
+            if defined is not None:
+                if defined not in live and not instr.is_call and not instr.is_load:
+                    result.dead_stores.append(instr)
+                live.discard(defined)
+            live.update(instr.used_registers())
+    return result

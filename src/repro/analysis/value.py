@@ -1,0 +1,637 @@
+"""Register/memory value analysis by abstract interpretation.
+
+This is the "Loop/Value Analysis" box of Figure 1: a forward abstract
+interpretation of one function over the combined interval/address domain of
+:mod:`repro.analysis.domains.memstate`.  Its products feed every later phase:
+
+* abstract register contents and memory cells (loop-bound analysis,
+  feasibility of branches),
+* the abstract *address* of every load and store (data-cache analysis and
+  memory-module classification — the "imprecise memory accesses" discussion of
+  Section 4.3),
+* per-edge refined states, so that branch conditions exclude impossible paths.
+
+Calls are handled conservatively (caller-saved registers and non-stack memory
+are forgotten) because the analysis is intraprocedural; the WCET analyzer
+composes per-function results bottom-up over the call graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.analysis.domains.interval import Interval
+from repro.analysis.domains.memstate import (
+    STACK_BASE,
+    AbstractMemory,
+    AbstractState,
+    AbstractValue,
+    PredicateFact,
+)
+from repro.analysis.fixpoint import ForwardSolver
+from repro.cfg.graph import EXIT, BasicBlock, ControlFlowGraph
+from repro.cfg.loops import LoopForest, find_loops
+from repro.ir.instructions import (
+    CALLER_SAVED_REGISTERS,
+    Imm,
+    Instruction,
+    Label,
+    Opcode,
+    Reg,
+    Sym,
+)
+from repro.ir.program import Program, STACK_SIZE, STACK_TOP, WORD_SIZE
+
+
+@dataclass
+class AccessInfo:
+    """Abstract description of one memory-access instruction.
+
+    ``absolute`` is the interval of byte addresses the access may touch; when
+    nothing is known about the pointer it spans the whole address space, which
+    forces the timing analysis to assume the slowest memory module and to
+    invalidate the abstract data cache — exactly the penalty the paper
+    attributes to imprecise memory accesses.
+    """
+
+    instruction_address: int
+    is_load: bool
+    size: int
+    bases: FrozenSet[str]
+    offset: Interval
+    absolute: Interval
+    #: True when the pointer value was completely unknown.
+    unknown: bool = False
+
+    @property
+    def is_precise(self) -> bool:
+        return self.absolute.is_constant
+
+    def span(self) -> Optional[int]:
+        return self.absolute.width()
+
+
+@dataclass
+class ValueAnalysisResult:
+    """Outcome of :class:`ValueAnalysis.run` for one function."""
+
+    function_name: str
+    block_in: Dict[int, AbstractState] = field(default_factory=dict)
+    edge_out: Dict[Tuple[int, int], AbstractState] = field(default_factory=dict)
+    accesses: Dict[int, AccessInfo] = field(default_factory=dict)
+    iterations: int = 0
+
+    # ------------------------------------------------------------------ #
+    def state_at_block_entry(self, block_id: int) -> AbstractState:
+        return self.block_in.get(block_id, AbstractState.unreachable())
+
+    def edge_state(self, source: int, target: int) -> AbstractState:
+        return self.edge_out.get((source, target), AbstractState.unreachable())
+
+    def edge_is_feasible(self, source: int, target: int) -> bool:
+        state = self.edge_out.get((source, target))
+        return state is not None and state.reachable
+
+    def infeasible_edges(self) -> List[Tuple[int, int]]:
+        return [
+            edge for edge, state in self.edge_out.items() if not state.reachable
+        ]
+
+    def semantically_unreachable_blocks(self) -> List[int]:
+        """Blocks whose entry state never became reachable during the analysis."""
+        return [
+            block
+            for block, state in self.block_in.items()
+            if not state.reachable
+        ]
+
+    def access_for(self, instruction_address: int) -> Optional[AccessInfo]:
+        return self.accesses.get(instruction_address)
+
+    def register_interval_at_block_entry(self, block_id: int, register: str) -> Interval:
+        return self.state_at_block_entry(block_id).get(register).interval
+
+
+class ValueAnalysis:
+    """Abstract interpretation of one function.
+
+    Parameters
+    ----------
+    program:
+        The laid-out program (for symbol addresses and data objects).
+    cfg:
+        The function's control-flow graph.
+    loops:
+        Loop forest (for widening points); computed if omitted.
+    initial_registers:
+        Abstract values of registers at function entry (e.g. argument ranges
+        supplied by an annotation); unspecified registers start as top.
+    assume_initial_globals:
+        If True, mutable global data objects are assumed to still hold their
+        initial values on entry (valid only when analysing the reset entry
+        task); read-only objects are always preloaded.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cfg: ControlFlowGraph,
+        loops: Optional[LoopForest] = None,
+        initial_registers: Optional[Dict[str, AbstractValue]] = None,
+        assume_initial_globals: bool = False,
+        widen_after: int = 2,
+        max_iterations: int = 50_000,
+    ):
+        program.ensure_layout()
+        self.program = program
+        self.cfg = cfg
+        self.loops = loops if loops is not None else find_loops(cfg)
+        self.initial_registers = dict(initial_registers or {})
+        self.assume_initial_globals = assume_initial_globals
+        self.widen_after = widen_after
+        self.max_iterations = max_iterations
+        self._recording: Optional[Dict[int, AccessInfo]] = None
+
+    # ------------------------------------------------------------------ #
+    # Entry state
+    # ------------------------------------------------------------------ #
+    def entry_state(self) -> AbstractState:
+        state = AbstractState()
+        state.set("r29", AbstractValue.address(STACK_BASE, Interval.const(0)))
+        state.set("r30", AbstractValue.address(STACK_BASE, Interval.const(0)))
+        for register, value in self.initial_registers.items():
+            state.set(register, value)
+        memory = state.memory
+        for obj in self.program.data_objects.values():
+            if not obj.initial:
+                continue
+            if obj.readonly or self.assume_initial_globals:
+                for index, word in enumerate(obj.initial):
+                    memory.store_strong(obj.name, index * WORD_SIZE, AbstractValue.const(word))
+        return state
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> ValueAnalysisResult:
+        solver = ForwardSolver(
+            cfg=self.cfg,
+            transfer=self._transfer,
+            join=lambda a, b: a.join(b),
+            widen=lambda a, b: a.widen(b),
+            includes=lambda old, new: old.includes(new),
+            bottom=AbstractState.unreachable,
+            widening_points=self.loops.headers(),
+            widen_after=self.widen_after,
+            max_iterations=self.max_iterations,
+        )
+        fixpoint = solver.solve(self.entry_state())
+
+        result = ValueAnalysisResult(function_name=self.cfg.function_name)
+        result.block_in = fixpoint.block_in
+        result.edge_out = fixpoint.edge_out
+        result.iterations = fixpoint.iterations
+
+        # Final recording pass: replay each block on its converged entry state
+        # to collect the abstract addresses of all memory accesses.
+        self._recording = result.accesses
+        for block_id, in_state in fixpoint.block_in.items():
+            if in_state.reachable:
+                self._transfer(block_id, in_state)
+        self._recording = None
+
+        # Blocks never reached get explicit unreachable entry states.
+        for block_id in self.cfg.node_ids():
+            result.block_in.setdefault(block_id, AbstractState.unreachable())
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Replay (used by the analyzer to inspect states at call sites)
+    # ------------------------------------------------------------------ #
+    def state_before(
+        self, result: ValueAnalysisResult, block_id: int, address: int
+    ) -> AbstractState:
+        """Abstract state immediately before the instruction at ``address``.
+
+        The block's converged entry state is replayed instruction by
+        instruction up to (but excluding) ``address`` — the WCET analyzer uses
+        this to read argument register values at call sites for context-
+        sensitive callee analysis.
+        """
+        state = result.state_at_block_entry(block_id).copy()
+        if not state.reachable:
+            return state
+        for instr in self.cfg.block(block_id).instructions:
+            if instr.address == address:
+                break
+            state = self._apply_instruction(instr, state)
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Block transfer
+    # ------------------------------------------------------------------ #
+    def _transfer(self, block_id: int, in_state: AbstractState) -> Dict[int, AbstractState]:
+        block = self.cfg.block(block_id)
+        state = in_state.copy()
+        if not state.reachable:
+            return {succ: AbstractState.unreachable() for succ in self.cfg.successors(block_id)}
+
+        for instr in block.instructions:
+            state = self._apply_instruction(instr, state)
+
+        return self._propagate(block, state)
+
+    # ------------------------------------------------------------------ #
+    def _operand(self, operand, state: AbstractState) -> AbstractValue:
+        if isinstance(operand, Reg):
+            return state.get(operand.name)
+        if isinstance(operand, Imm):
+            if isinstance(operand.value, float):
+                return AbstractValue.float_value()
+            return AbstractValue.const(int(operand.value))
+        if isinstance(operand, Sym):
+            return AbstractValue.address(operand.name, Interval.const(0))
+        raise AnalysisError(f"unexpected operand {operand!r} in value analysis")
+
+    @staticmethod
+    def _fact_operand(operand) -> Tuple[str, object]:
+        if isinstance(operand, Reg):
+            return ("reg", operand.name)
+        if isinstance(operand, Imm) and isinstance(operand.value, int):
+            return ("const", operand.value)
+        return ("other", None)
+
+    def _apply_instruction(self, instr: Instruction, state: AbstractState) -> AbstractState:
+        if instr.pred is not None:
+            # A predicated instruction may or may not take effect: the result
+            # is the join of both outcomes.
+            skipped = state.copy()
+            taken = self._apply_unpredicated(instr, state.copy())
+            return skipped.join(taken)
+        return self._apply_unpredicated(instr, state)
+
+    def _apply_unpredicated(self, instr: Instruction, state: AbstractState) -> AbstractState:
+        op = instr.opcode
+        if op in (Opcode.NOP, Opcode.HALT, Opcode.RET, Opcode.BR, Opcode.IBR):
+            return state
+        if op in (Opcode.BT, Opcode.BF):
+            return state
+        if op in (Opcode.CALL, Opcode.ICALL):
+            return self._apply_call(state)
+
+        dest = instr.dest.name if instr.dest is not None else None
+        get = lambda index: self._operand(instr.operands[index], state)
+
+        if op is Opcode.MOV:
+            state.set(dest, get(0))
+            return state
+        if op is Opcode.LA:
+            symbol = instr.operands[0]
+            state.set(dest, AbstractValue.address(symbol.name, Interval.const(0)))
+            return state
+
+        if op in _ARITH_HANDLERS:
+            a = get(0)
+            b = get(1)
+            state.set(dest, _ARITH_HANDLERS[op](a, b))
+            return state
+        if op is Opcode.NOT:
+            state.set(dest, AbstractValue(get(0).interval.bit_not()))
+            return state
+        if op is Opcode.NEG:
+            state.set(dest, AbstractValue(get(0).interval.neg()))
+            return state
+
+        if op in _COMPARE_HANDLERS:
+            a = get(0)
+            b = get(1)
+            value = AbstractValue(_COMPARE_HANDLERS[op](a, b))
+            state.set(dest, value)
+            lhs = self._fact_operand(instr.operands[0])
+            rhs = self._fact_operand(instr.operands[1])
+            if lhs[0] != "other" and rhs[0] != "other" and not (a.is_float or b.is_float):
+                state.set_fact(dest, PredicateFact(op, lhs, rhs))
+            return state
+
+        if op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FNEG, Opcode.ITOF):
+            state.set(dest, AbstractValue.float_value())
+            return state
+        if op is Opcode.FTOI:
+            state.set(dest, AbstractValue.top())
+            return state
+        if op in (Opcode.FSEQ, Opcode.FSNE, Opcode.FSLT, Opcode.FSLE):
+            state.set(dest, AbstractValue(Interval(0, 1)))
+            return state
+
+        if op in (Opcode.LOAD, Opcode.LOADB):
+            return self._apply_load(instr, state)
+        if op in (Opcode.STORE, Opcode.STOREB):
+            return self._apply_store(instr, state)
+
+        raise AnalysisError(f"value analysis: unhandled opcode {op.value!r}")
+
+    # ------------------------------------------------------------------ #
+    def _apply_call(self, state: AbstractState) -> AbstractState:
+        state.havoc_registers(CALLER_SAVED_REGISTERS)
+        # Callees may modify any global memory; only the caller's stack frame
+        # slots (addressed relative to the incoming stack pointer) survive.
+        state.memory.clobber_all(keep_bases={STACK_BASE})
+        return state
+
+    # ------------------------------------------------------------------ #
+    def _resolve_access(
+        self, pointer: AbstractValue, byte_offset: int
+    ) -> Tuple[FrozenSet[str], Interval, Interval, bool]:
+        """Return (bases, per-base offset interval, absolute interval, unknown)."""
+        offset = pointer.interval.add(Interval.const(byte_offset))
+        if pointer.bases:
+            absolute = Interval.bottom()
+            for base in pointer.bases:
+                if base == STACK_BASE:
+                    base_abs = Interval.range(STACK_TOP - STACK_SIZE, STACK_TOP)
+                elif self.program.has_data(base):
+                    base_abs = offset.add(Interval.const(self.program.data(base).address))
+                elif self.program.has_function(base):
+                    base_abs = offset.add(
+                        Interval.const(self.program.function(base).entry_address)
+                    )
+                else:
+                    base_abs = Interval.top()
+                absolute = absolute.join(base_abs)
+            return pointer.bases, offset, absolute, False
+        if offset.is_constant:
+            address = offset.constant_value
+            obj = self.program.data_object_at(address) if address is not None else None
+            if obj is not None:
+                return (
+                    frozenset({obj.name}),
+                    Interval.const(address - obj.address),
+                    offset,
+                    False,
+                )
+            return frozenset(), offset, offset, False
+        if offset.is_finite:
+            return frozenset(), offset, offset, False
+        return frozenset(), offset, Interval.top(), True
+
+    def _record_access(
+        self, instr: Instruction, bases, offset, absolute, unknown
+    ) -> None:
+        if self._recording is None:
+            return
+        self._recording[instr.address] = AccessInfo(
+            instruction_address=instr.address,
+            is_load=instr.is_load,
+            size=WORD_SIZE if instr.opcode in (Opcode.LOAD, Opcode.STORE) else 1,
+            bases=frozenset(bases),
+            offset=offset,
+            absolute=absolute,
+            unknown=unknown,
+        )
+
+    def _apply_load(self, instr: Instruction, state: AbstractState) -> AbstractState:
+        pointer = self._operand(instr.operands[0], state)
+        bases, offset, absolute, unknown = self._resolve_access(pointer, instr.offset)
+        self._record_access(instr, bases, offset, absolute, unknown)
+        value = AbstractValue.top()
+        single = next(iter(bases)) if len(bases) == 1 else None
+        if single is not None and offset.is_constant:
+            value = state.memory.load(single, offset.constant_value)
+        if instr.opcode is Opcode.LOADB:
+            value = AbstractValue(value.interval.meet(Interval(0, 255)))
+            if value.interval.is_bottom:
+                value = AbstractValue(Interval(0, 255))
+        state.set(instr.dest.name, value)
+        return state
+
+    def _apply_store(self, instr: Instruction, state: AbstractState) -> AbstractState:
+        value = self._operand(instr.operands[0], state)
+        pointer = self._operand(instr.operands[1], state)
+        bases, offset, absolute, unknown = self._resolve_access(pointer, instr.offset)
+        self._record_access(instr, bases, offset, absolute, unknown)
+        if instr.opcode is Opcode.STOREB:
+            # Byte stores only partially update a word cell; treat as weak.
+            value = AbstractValue.top()
+        if unknown or not bases:
+            if offset.is_constant and bases:
+                pass  # handled below
+            elif unknown:
+                # A write through a completely unknown pointer destroys all
+                # knowledge about memory (Section 4.3, imprecise accesses).
+                state.memory.clobber_all()
+                return state
+        if len(bases) == 1 and offset.is_constant:
+            state.memory.store_strong(next(iter(bases)), offset.constant_value, value)
+            return state
+        if bases:
+            for base in bases:
+                state.memory.store_weak(base, value)
+                if offset.is_constant:
+                    continue
+                # Unknown offset within the object: existing knowledge about
+                # the object's cells can no longer be trusted to be precise,
+                # but joining the stored value in keeps soundness.
+            return state
+        # No symbolic base but a finite numeric address range: weak-update any
+        # data object the range may intersect.
+        for obj in self.program.data_objects.values():
+            object_range = Interval(obj.address, obj.address + obj.size - 1)
+            if not absolute.meet(object_range).is_bottom:
+                state.memory.store_weak(obj.name, value)
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Edge propagation with branch refinement
+    # ------------------------------------------------------------------ #
+    def _propagate(self, block: BasicBlock, state: AbstractState) -> Dict[int, AbstractState]:
+        successors = self.cfg.successors(block.id)
+        result: Dict[int, AbstractState] = {}
+        last = block.last if block.instructions else None
+
+        if last is None or not last.is_conditional_branch or len(successors) < 2:
+            for successor in successors:
+                result[successor] = state.copy() if len(successors) > 1 else state
+            return result
+
+        condition = last.operands[0]
+        assert isinstance(condition, Reg)
+        target_label = last.branch_target()
+        taken_target = None
+        fallthrough_target = None
+        for edge in self.cfg.out_edges(block.id):
+            if edge.kind.value == "taken":
+                taken_target = edge.target
+            else:
+                fallthrough_target = edge.target
+
+        cond_value = state.get(condition.name)
+        branch_on_true = last.opcode is Opcode.BT
+
+        taken_state = state.copy()
+        fall_state = state.copy()
+
+        # Constant conditions make one edge infeasible outright.
+        if cond_value.is_constant and not cond_value.is_float:
+            is_zero = cond_value.constant_value == 0
+            taken_feasible = (not is_zero) if branch_on_true else is_zero
+            if not taken_feasible:
+                taken_state = AbstractState.unreachable()
+            else:
+                fall_state = AbstractState.unreachable()
+        else:
+            fact = state.facts.get(condition.name)
+            if fact is not None:
+                self._refine_with_fact(taken_state, fact, positive=branch_on_true)
+                self._refine_with_fact(fall_state, fact, positive=not branch_on_true)
+            # The condition register itself is non-zero on the "true" side and
+            # zero on the "false" side (when its interval allows refinement).
+            true_state = taken_state if branch_on_true else fall_state
+            false_state = fall_state if branch_on_true else taken_state
+            if true_state.reachable:
+                refined = true_state.get(condition.name).interval.refine_ne(Interval.const(0))
+                true_state.registers[condition.name] = true_state.get(
+                    condition.name
+                ).with_interval(refined)
+            if false_state.reachable:
+                refined = false_state.get(condition.name).interval.meet(Interval.const(0))
+                if refined.is_bottom:
+                    false_state.reachable = False
+                else:
+                    false_state.registers[condition.name] = false_state.get(
+                        condition.name
+                    ).with_interval(refined)
+
+        if taken_target is not None:
+            result[taken_target] = taken_state
+        if fallthrough_target is not None:
+            result[fallthrough_target] = fall_state
+        for successor in successors:
+            result.setdefault(successor, state.copy())
+        return result
+
+    def _refine_with_fact(
+        self, state: AbstractState, fact: PredicateFact, positive: bool
+    ) -> None:
+        if not state.reachable:
+            return
+
+        def value_of(operand) -> Interval:
+            kind, payload = operand
+            if kind == "reg":
+                return state.get(payload).interval
+            if kind == "const":
+                return Interval.const(payload)
+            return Interval.top()
+
+        def set_value(operand, interval: Interval) -> None:
+            kind, payload = operand
+            if kind != "reg":
+                return
+            if interval.is_bottom:
+                state.reachable = False
+                return
+            current = state.get(payload)
+            state.registers[payload] = current.with_interval(interval)
+
+        lhs = value_of(fact.lhs)
+        rhs = value_of(fact.rhs)
+        relation = fact.relation
+
+        # Reduce every relation to one of lt / le / eq / ne between lhs and rhs
+        # under the branch polarity.
+        swapped = {
+            Opcode.SGT: Opcode.SLT,
+            Opcode.SGE: Opcode.SLE,
+        }
+        lhs_op, rhs_op = fact.lhs, fact.rhs
+        if relation in swapped:
+            relation = swapped[relation]
+            lhs, rhs = rhs, lhs
+            lhs_op, rhs_op = rhs_op, lhs_op
+        if relation is Opcode.SGEU:
+            # a >=u b  <=>  not (a <u b)
+            relation = Opcode.SLTU
+            positive = not positive
+
+        unsigned = relation is Opcode.SLTU
+        if unsigned:
+            if not (lhs.is_nonnegative() and rhs.is_nonnegative()):
+                return
+            relation = Opcode.SLT
+
+        if relation is Opcode.SLT:
+            if positive:
+                set_value(lhs_op, lhs.refine_lt(rhs))
+                set_value(rhs_op, value_of(rhs_op).refine_gt(lhs))
+            else:
+                set_value(lhs_op, lhs.refine_ge(rhs))
+                set_value(rhs_op, value_of(rhs_op).refine_le(lhs))
+        elif relation is Opcode.SLE:
+            if positive:
+                set_value(lhs_op, lhs.refine_le(rhs))
+                set_value(rhs_op, value_of(rhs_op).refine_ge(lhs))
+            else:
+                set_value(lhs_op, lhs.refine_gt(rhs))
+                set_value(rhs_op, value_of(rhs_op).refine_lt(lhs))
+        elif relation is Opcode.SEQ:
+            if positive:
+                meet = lhs.meet(rhs)
+                set_value(lhs_op, meet)
+                set_value(rhs_op, meet)
+            else:
+                set_value(lhs_op, lhs.refine_ne(rhs))
+                set_value(rhs_op, rhs.refine_ne(lhs))
+        elif relation is Opcode.SNE:
+            if positive:
+                set_value(lhs_op, lhs.refine_ne(rhs))
+                set_value(rhs_op, rhs.refine_ne(lhs))
+            else:
+                meet = lhs.meet(rhs)
+                set_value(lhs_op, meet)
+                set_value(rhs_op, meet)
+
+
+def _unsigned_ok(a: AbstractValue, b: AbstractValue) -> bool:
+    return a.interval.is_nonnegative() and b.interval.is_nonnegative()
+
+
+_ARITH_HANDLERS = {
+    Opcode.ADD: lambda a, b: a.add(b),
+    Opcode.SUB: lambda a, b: a.sub(b),
+    Opcode.MUL: lambda a, b: AbstractValue(a.interval.mul(b.interval)),
+    Opcode.DIVS: lambda a, b: AbstractValue(a.interval.divide(b.interval)),
+    Opcode.DIVU: lambda a, b: AbstractValue(
+        a.interval.divide(b.interval) if _unsigned_ok(a, b) else Interval.top()
+    ),
+    Opcode.REMS: lambda a, b: AbstractValue(a.interval.remainder(b.interval)),
+    Opcode.REMU: lambda a, b: AbstractValue(
+        a.interval.remainder(b.interval) if _unsigned_ok(a, b) else Interval.top()
+    ),
+    Opcode.AND: lambda a, b: AbstractValue(a.interval.bit_and(b.interval)),
+    Opcode.OR: lambda a, b: AbstractValue(a.interval.bit_or(b.interval)),
+    Opcode.XOR: lambda a, b: AbstractValue(a.interval.bit_xor(b.interval)),
+    Opcode.SHL: lambda a, b: AbstractValue(a.interval.shift_left(b.interval)),
+    Opcode.SHR: lambda a, b: AbstractValue(a.interval.shift_right_logical(b.interval)),
+    Opcode.SRA: lambda a, b: AbstractValue(a.interval.shift_right_arith(b.interval)),
+}
+
+_COMPARE_HANDLERS = {
+    Opcode.SEQ: lambda a, b: a.interval.compare_eq(b.interval),
+    Opcode.SNE: lambda a, b: _negate_bool(a.interval.compare_eq(b.interval)),
+    Opcode.SLT: lambda a, b: a.interval.compare_lt(b.interval),
+    Opcode.SLE: lambda a, b: a.interval.compare_le(b.interval),
+    Opcode.SGT: lambda a, b: b.interval.compare_lt(a.interval),
+    Opcode.SGE: lambda a, b: b.interval.compare_le(a.interval),
+    Opcode.SLTU: lambda a, b: (
+        a.interval.compare_lt(b.interval) if _unsigned_ok(a, b) else Interval(0, 1)
+    ),
+    Opcode.SGEU: lambda a, b: (
+        b.interval.compare_le(a.interval) if _unsigned_ok(a, b) else Interval(0, 1)
+    ),
+}
+
+
+def _negate_bool(interval: Interval) -> Interval:
+    if interval.is_constant:
+        return Interval.const(1 - interval.constant_value)
+    return Interval(0, 1)

@@ -1,0 +1,45 @@
+"""Design-level information for the WCET analysis (Section 4.3 of the paper).
+
+The paper's central recommendation is to capture system knowledge that the
+binary alone cannot provide — operating modes, data-buffer sizes, memory
+regions accessed by drivers, error-handling scenarios — early, and to feed it
+to the timing analysis.  This package is that machinery:
+
+* :mod:`repro.annotations.flowfacts` — loop bounds, linear flow constraints,
+  infeasible blocks, recursion depths, argument value ranges;
+* :mod:`repro.annotations.modes` — operating modes bundling mode-specific facts;
+* :mod:`repro.annotations.memregions` — per-function memory-region access
+  annotations for otherwise unknown pointer accesses;
+* :mod:`repro.annotations.errors_model` — error-handling scenarios that either
+  exclude error paths or bound how many error handlers can run per activation;
+* :mod:`repro.annotations.registry` — the :class:`AnnotationSet` aggregating
+  everything, resolvable per operating mode;
+* :mod:`repro.annotations.parser` — a small text format so annotations can be
+  maintained next to the source code, as the paper recommends.
+"""
+
+from repro.annotations.flowfacts import (
+    ArgumentRange,
+    FlowConstraint,
+    InfeasiblePath,
+    LoopBoundAnnotation,
+    RecursionBound,
+)
+from repro.annotations.memregions import MemoryRegionAnnotation
+from repro.annotations.modes import OperatingMode
+from repro.annotations.errors_model import ErrorScenario
+from repro.annotations.registry import AnnotationSet
+from repro.annotations.parser import parse_annotations
+
+__all__ = [
+    "LoopBoundAnnotation",
+    "FlowConstraint",
+    "InfeasiblePath",
+    "RecursionBound",
+    "ArgumentRange",
+    "MemoryRegionAnnotation",
+    "OperatingMode",
+    "ErrorScenario",
+    "AnnotationSet",
+    "parse_annotations",
+]

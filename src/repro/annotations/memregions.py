@@ -1,0 +1,39 @@
+"""Per-function memory-region access annotations.
+
+Section 4.3 ("Imprecise Memory Accesses") proposes documenting, per function,
+which memory areas its pointer accesses may touch: device-driver routines may
+access the memory-mapped I/O region, but ordinary control code only touches
+RAM.  With that annotation the timing analysis no longer has to charge the
+slowest module (and invalidate the abstract data cache) for every unresolved
+access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import AnnotationError
+
+
+@dataclass(frozen=True)
+class MemoryRegionAnnotation:
+    """Restricts unknown-address accesses of ``function`` to ``regions``.
+
+    ``regions`` contains memory-module names of the processor's memory map
+    (e.g. ``("ram",)`` or ``("ram", "device")``).  Accesses whose abstract
+    address interval is already precise are unaffected — the annotation only
+    caps the damage done by imprecise ones.
+    """
+
+    function: str
+    regions: Tuple[str, ...]
+    mode: Optional[str] = None
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise AnnotationError(
+                f"memory-region annotation for {self.function} lists no regions"
+            )
+        object.__setattr__(self, "regions", tuple(self.regions))

@@ -1,0 +1,49 @@
+"""Software arithmetic (Section 4.3 "Software Arithmetic" and Table 1).
+
+The paper's only quantitative artefact is the iteration-count histogram of the
+CodeWarrior ``lDivMod`` 32-bit unsigned division routine: an algorithm with
+excellent average-case behaviour (one iteration in > 99.8 % of random inputs)
+and terrible WCET predictability (rare inputs need hundreds of iterations, and
+there is no simple way to tell from the inputs).  This package provides
+
+* :mod:`repro.arith.ldivmod` — a reimplementation of the estimate-and-correct
+  division with an iteration counter (the Table 1 subject);
+* :mod:`repro.arith.restoring` — the classic restoring shift-subtract division
+  with a *fixed* iteration count (the WCET-friendly alternative);
+* :mod:`repro.arith.softfloat` — IEEE-754 single-precision software floating
+  point (add/sub/mul/div) with data-dependent normalisation loops;
+* :mod:`repro.arith.fixedpoint` — Q16.16 fixed-point arithmetic whose
+  operations are constant-time (the "different representation" remedy);
+* :mod:`repro.arith.sampling` — the random-sampling harness that regenerates
+  Table 1 with the paper's exact bucket boundaries.
+"""
+
+from repro.arith.ldivmod import DivisionResult, ldivmod, LDIVMOD_WORST_CASE_BOUND
+from repro.arith.restoring import restoring_divmod, RESTORING_ITERATIONS
+from repro.arith.softfloat import SoftFloat, float_add, float_div, float_mul, float_sub
+from repro.arith.fixedpoint import Fixed, FIXED_FRACTION_BITS
+from repro.arith.sampling import (
+    PAPER_TABLE1_BUCKETS,
+    PAPER_TABLE1_ROWS,
+    IterationHistogram,
+    sample_iteration_histogram,
+)
+
+__all__ = [
+    "DivisionResult",
+    "ldivmod",
+    "LDIVMOD_WORST_CASE_BOUND",
+    "restoring_divmod",
+    "RESTORING_ITERATIONS",
+    "SoftFloat",
+    "float_add",
+    "float_sub",
+    "float_mul",
+    "float_div",
+    "Fixed",
+    "FIXED_FRACTION_BITS",
+    "IterationHistogram",
+    "sample_iteration_histogram",
+    "PAPER_TABLE1_BUCKETS",
+    "PAPER_TABLE1_ROWS",
+]

@@ -1,0 +1,89 @@
+"""Q16.16 fixed-point arithmetic: the constant-time alternative.
+
+Where soft-float operations contain data-dependent normalisation loops,
+fixed-point arithmetic maps to a handful of integer instructions with no
+loops at all — the representation the paper's "more radical" remedy (choose
+hardware/representations that match the required precision) points towards.
+Every operation here is straight-line; the WCET of a fixed-point kernel is
+therefore independent of the data it processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Number of fractional bits (Q16.16).
+FIXED_FRACTION_BITS = 16
+_ONE = 1 << FIXED_FRACTION_BITS
+_MIN = -(2**31)
+_MAX = 2**31 - 1
+
+
+def _saturate(value: int) -> int:
+    return max(_MIN, min(_MAX, value))
+
+
+@dataclass(frozen=True)
+class Fixed:
+    """A Q16.16 fixed-point number stored in a signed 32-bit raw value."""
+
+    raw: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "raw", _saturate(int(self.raw)))
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_float(value: float) -> "Fixed":
+        return Fixed(int(round(value * _ONE)))
+
+    @staticmethod
+    def from_int(value: int) -> "Fixed":
+        return Fixed(value << FIXED_FRACTION_BITS)
+
+    def to_float(self) -> float:
+        return self.raw / _ONE
+
+    def to_int(self) -> int:
+        """Truncate towards zero."""
+        if self.raw < 0:
+            return -((-self.raw) >> FIXED_FRACTION_BITS)
+        return self.raw >> FIXED_FRACTION_BITS
+
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "Fixed") -> "Fixed":
+        return Fixed(self.raw + other.raw)
+
+    def __sub__(self, other: "Fixed") -> "Fixed":
+        return Fixed(self.raw - other.raw)
+
+    def __mul__(self, other: "Fixed") -> "Fixed":
+        return Fixed((self.raw * other.raw) >> FIXED_FRACTION_BITS)
+
+    def __truediv__(self, other: "Fixed") -> "Fixed":
+        if other.raw == 0:
+            raise ReproError("fixed-point division by zero")
+        return Fixed((self.raw << FIXED_FRACTION_BITS) // other.raw)
+
+    def __neg__(self) -> "Fixed":
+        return Fixed(-self.raw)
+
+    def __abs__(self) -> "Fixed":
+        return Fixed(abs(self.raw))
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Fixed):
+            return self.raw == other.raw
+        return NotImplemented
+
+    def __lt__(self, other: "Fixed") -> bool:
+        return self.raw < other.raw
+
+    def __le__(self, other: "Fixed") -> bool:
+        return self.raw <= other.raw
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.to_float():.5f}"

@@ -1,0 +1,34 @@
+"""Restoring shift-subtract division: the WCET-predictable baseline.
+
+The paper recommends "making sure that the used software arithmetic library
+features good WCET analyzability".  The textbook restoring division is the
+canonical example: it always executes exactly :data:`RESTORING_ITERATIONS`
+iterations regardless of the operand values, so its WCET equals its typical
+execution time — at the price of a worse *average* case than the
+estimate-and-correct ``lDivMod`` (32 iterations instead of 1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.arith.ldivmod import DivisionResult, UINT32_MASK
+
+#: The restoring division always runs one iteration per result bit.
+RESTORING_ITERATIONS = 32
+
+
+def restoring_divmod(dividend: int, divisor: int) -> DivisionResult:
+    """32-bit unsigned restoring division with a constant iteration count."""
+    if not 0 <= dividend <= UINT32_MASK or not 0 <= divisor <= UINT32_MASK:
+        raise ReproError("restoring_divmod operands must be 32-bit unsigned integers")
+    if divisor == 0:
+        raise ReproError("restoring_divmod: division by zero")
+
+    remainder = 0
+    quotient = 0
+    for bit in range(RESTORING_ITERATIONS - 1, -1, -1):
+        remainder = (remainder << 1) | ((dividend >> bit) & 1)
+        if remainder >= divisor:
+            remainder -= divisor
+            quotient |= 1 << bit
+    return DivisionResult(quotient, remainder, RESTORING_ITERATIONS)

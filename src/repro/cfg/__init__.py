@@ -1,0 +1,36 @@
+"""Control-flow reconstruction — the "decoding phase" of Figure 1.
+
+Given a laid-out :class:`~repro.ir.program.Program`, this package rebuilds the
+control-flow graph of every function, computes dominator information, detects
+natural loops, flags *irreducible* loops (multiple-entry cycles, the tier-one
+challenge of Section 3.2), and builds the interprocedural call graph with
+recursion detection.
+
+Indirect branches and indirect calls (function pointers) cannot generally be
+resolved automatically; resolution hints are supplied through
+:class:`ControlFlowHints`, the machine-level counterpart of the "additional
+knowledge" the paper says is required.
+"""
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph, Edge, EdgeKind
+from repro.cfg.reconstruct import ControlFlowHints, reconstruct_cfg, reconstruct_program
+from repro.cfg.dominators import DominatorInfo, compute_dominators
+from repro.cfg.loops import Loop, LoopForest, find_loops
+from repro.cfg.callgraph import CallGraph, build_callgraph
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "Edge",
+    "EdgeKind",
+    "ControlFlowHints",
+    "reconstruct_cfg",
+    "reconstruct_program",
+    "DominatorInfo",
+    "compute_dominators",
+    "Loop",
+    "LoopForest",
+    "find_loops",
+    "CallGraph",
+    "build_callgraph",
+]

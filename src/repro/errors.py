@@ -1,0 +1,99 @@
+"""Exception hierarchy shared by all repro subpackages.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the analysis stage that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed intermediate-representation program or instruction."""
+
+
+class AssemblyError(IRError):
+    """Error while parsing the textual assembly format."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ExecutionError(ReproError):
+    """Runtime fault during concrete interpretation (e.g. bad memory access)."""
+
+
+class CFGError(ReproError):
+    """Control-flow reconstruction failure (e.g. unresolvable branch target)."""
+
+
+class AnalysisError(ReproError):
+    """Failure inside an abstract-interpretation based analysis."""
+
+
+class UnboundedLoopError(AnalysisError):
+    """A loop bound was required but could not be derived or annotated."""
+
+    def __init__(self, message: str, loop_header: int | None = None):
+        self.loop_header = loop_header
+        super().__init__(message)
+
+
+class TimingAnalysisError(ReproError):
+    """Failure during cache/pipeline (micro-architectural) analysis."""
+
+
+class PathAnalysisError(ReproError):
+    """Failure during IPET / ILP path analysis."""
+
+
+class InfeasibleILPError(PathAnalysisError):
+    """The ILP system built for path analysis has no feasible solution."""
+
+
+class UnboundedILPError(PathAnalysisError):
+    """The ILP system built for path analysis is unbounded.
+
+    This typically means a loop in the program has no loop bound constraint;
+    the raiser should point at the offending control-flow cycle.
+    """
+
+
+class ParseError(ReproError):
+    """Syntax error in mini-C source code or an annotation file."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class TypeCheckError(ReproError):
+    """Semantic / type error in mini-C source code."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class CodegenError(ReproError):
+    """Mini-C to IR code generation failure."""
+
+
+class AnnotationError(ReproError):
+    """Invalid or contradictory design-level annotation."""
+
+
+class GuidelineError(ReproError):
+    """Failure inside the coding-guideline checker."""

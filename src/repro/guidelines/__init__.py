@@ -1,0 +1,31 @@
+"""MISRA-C:2004 predictability rule checker (Section 4.2 of the paper).
+
+The paper examines nine rules of the 2004 MISRA-C standard and discusses, for
+each, whether adhering to it helps binary-level static WCET analysis.  This
+package automates that examination for mini-C sources:
+
+* each rule is a small module under :mod:`repro.guidelines.rules` producing
+  :class:`~repro.guidelines.finding.Finding` objects with the paper's
+  assessment attached (which WCET-analysis challenge the violation causes, and
+  whether it is a tier-one or tier-two problem — or none, as for rule 14.5);
+* :class:`~repro.guidelines.checker.GuidelineChecker` runs all (or selected)
+  rules over a compilation unit;
+* :mod:`repro.guidelines.predictability` combines the source-level findings
+  with the result of actually running the WCET analyzer on the compiled
+  program, quantifying the connection the paper only argues qualitatively.
+"""
+
+from repro.guidelines.finding import Finding, Severity, ChallengeTier
+from repro.guidelines.checker import GuidelineChecker, GuidelineReport, all_rules
+from repro.guidelines.predictability import PredictabilityAssessment, assess_predictability
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "ChallengeTier",
+    "GuidelineChecker",
+    "GuidelineReport",
+    "all_rules",
+    "PredictabilityAssessment",
+    "assess_predictability",
+]

@@ -1,0 +1,60 @@
+"""MISRA-C:2004 rule 13.4 — no floating-point objects in ``for`` controlling expressions.
+
+Paper assessment: abstract-interpretation based loop analyzers work well with
+integer arithmetic but cannot bound loops whose exit condition involves
+floating-point values; forbidding them keeps loop bounds automatically
+detectable (tier-one impact: an unbounded loop means no WCET bound at all).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minic import ast
+from repro.guidelines.finding import ChallengeTier, Finding, Severity
+from repro.guidelines.rules import Rule, RuleInfo, expression_uses_float, functions_of
+
+
+class Rule13_4(Rule):
+    info = RuleInfo(
+        rule_id="13.4",
+        title="The controlling expression of a for statement shall not contain "
+        "any objects of floating type",
+        severity=Severity.REQUIRED,
+        challenge=ChallengeTier.TIER_ONE,
+        wcet_impact=(
+            "Loop-bound analysis is interval/integer based; a float-controlled "
+            "loop cannot be bounded automatically, so no WCET bound can be "
+            "computed without a manual annotation."
+        ),
+    )
+
+    def check(self, unit: ast.CompilationUnit) -> List[Finding]:
+        findings: List[Finding] = []
+        for function in functions_of(unit):
+            for node in ast.walk(function.body):
+                if isinstance(node, ast.ForStmt):
+                    controlling = [node.condition, node.step]
+                    if isinstance(node.init, ast.ExprStmt):
+                        controlling.append(node.init.expr)
+                    if isinstance(node.init, ast.VarDecl):
+                        controlling.append(node.init.init)
+                        if ast.type_is_float(node.init.var_type):
+                            findings.append(
+                                self.finding(
+                                    function.name,
+                                    node.line,
+                                    "for-loop iteration variable has floating type",
+                                )
+                            )
+                            continue
+                    if any(expression_uses_float(expr) for expr in controlling):
+                        findings.append(
+                            self.finding(
+                                function.name,
+                                node.line,
+                                "for-loop controlling expression contains "
+                                "floating-point objects",
+                            )
+                        )
+        return findings

@@ -1,0 +1,74 @@
+"""MISRA-C:2004 rule 13.6 — loop counters shall not be modified in the loop body.
+
+Paper assessment: the rule promotes simple counter loops whose bounds a
+data-flow based loop analysis can detect; modifying the counter in the body
+creates "complex update logic" that defeats automatic loop-bound detection
+(tier-one impact).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.minic import ast
+from repro.guidelines.finding import ChallengeTier, Finding, Severity
+from repro.guidelines.rules import (
+    Rule,
+    RuleInfo,
+    functions_of,
+    modified_variable_names,
+)
+
+
+class Rule13_6(Rule):
+    info = RuleInfo(
+        rule_id="13.6",
+        title="Numeric variables used within a for loop for iteration counting "
+        "shall not be modified in the body of the loop",
+        severity=Severity.REQUIRED,
+        challenge=ChallengeTier.TIER_ONE,
+        wcet_impact=(
+            "Counter updates inside the body break the simple counter pattern "
+            "the loop-bound analysis recognises; the loop then needs a manual "
+            "bound annotation."
+        ),
+    )
+
+    def check(self, unit: ast.CompilationUnit) -> List[Finding]:
+        findings: List[Finding] = []
+        for function in functions_of(unit):
+            for node in ast.walk(function.body):
+                if not isinstance(node, ast.ForStmt):
+                    continue
+                counters = self._iteration_variables(node)
+                if not counters:
+                    continue
+                body_modified = modified_variable_names(node.body) if node.body else set()
+                offenders = counters & body_modified
+                for name in sorted(offenders):
+                    findings.append(
+                        self.finding(
+                            function.name,
+                            node.line,
+                            f"loop counter {name!r} is modified in the loop body",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _iteration_variables(loop: ast.ForStmt) -> Set[str]:
+        """Variables updated by the for-statement's step expression."""
+        counters: Set[str] = set()
+        if loop.step is not None:
+            counters |= modified_variable_names(loop.step)
+        if isinstance(loop.init, ast.VarDecl):
+            counters.add(loop.init.name)
+        elif isinstance(loop.init, ast.ExprStmt) and loop.init.expr is not None:
+            counters |= modified_variable_names(loop.init.expr)
+        # Only variables that appear in the step count as iteration counters;
+        # init-only variables are not "used for iteration counting".
+        if loop.step is not None:
+            step_modified = modified_variable_names(loop.step)
+            if step_modified:
+                return step_modified
+        return counters

@@ -1,0 +1,95 @@
+"""MISRA-C:2004 rule 14.1 — there shall be no unreachable code.
+
+Paper assessment: static timing analysis over-approximates the control flow;
+unreachable code left in the binary becomes extra paths the analysis may
+include in the worst case, i.e. a source of over-estimation (tier-two impact).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.minic import ast
+from repro.guidelines.finding import ChallengeTier, Finding, Severity
+from repro.guidelines.rules import Rule, RuleInfo, functions_of
+
+
+def _is_terminating(statement: ast.Stmt) -> bool:
+    """True if control never continues past this statement."""
+    if isinstance(statement, (ast.ReturnStmt, ast.BreakStmt, ast.ContinueStmt, ast.GotoStmt)):
+        return True
+    if isinstance(statement, ast.CompoundStmt):
+        items = [s for s in statement.statements if isinstance(s, ast.Stmt)]
+        return bool(items) and _is_terminating(items[-1])
+    if isinstance(statement, ast.IfStmt):
+        return (
+            statement.else_branch is not None
+            and _is_terminating(statement.then_branch)
+            and _is_terminating(statement.else_branch)
+        )
+    return False
+
+
+class Rule14_1(Rule):
+    info = RuleInfo(
+        rule_id="14.1",
+        title="There shall be no unreachable code",
+        severity=Severity.REQUIRED,
+        challenge=ChallengeTier.TIER_TWO,
+        wcet_impact=(
+            "The path analysis over-approximates the feasible control flow; "
+            "dead code adds execution paths that inflate the WCET bound."
+        ),
+    )
+
+    def check(self, unit: ast.CompilationUnit) -> List[Finding]:
+        findings: List[Finding] = []
+        for function in functions_of(unit):
+            self._check_block(function.body, function.name, findings)
+            for node in ast.walk(function.body):
+                if isinstance(node, ast.CompoundStmt) and node is not function.body:
+                    self._check_block(node, function.name, findings)
+                # Statically-false conditions guard unreachable branches.
+                if isinstance(node, ast.IfStmt) and self._is_constant_zero(node.condition):
+                    findings.append(
+                        self.finding(
+                            function.name,
+                            node.line,
+                            "if-condition is constantly zero; the then-branch is unreachable",
+                        )
+                    )
+                if isinstance(node, ast.WhileStmt) and self._is_constant_zero(node.condition):
+                    findings.append(
+                        self.finding(
+                            function.name,
+                            node.line,
+                            "while-condition is constantly zero; the loop body is unreachable",
+                        )
+                    )
+        return findings
+
+    def _check_block(
+        self, block: Optional[ast.CompoundStmt], function: str, findings: List[Finding]
+    ) -> None:
+        if block is None:
+            return
+        statements = [s for s in block.statements if isinstance(s, ast.Stmt)]
+        for position, statement in enumerate(statements[:-1]):
+            if _is_terminating(statement):
+                follower = statements[position + 1]
+                # A labelled statement can be reached by goto, so it does not
+                # count as unreachable.
+                if isinstance(follower, ast.LabelStmt):
+                    continue
+                findings.append(
+                    self.finding(
+                        function,
+                        getattr(follower, "line", 0),
+                        "code after a return/break/continue/goto can never execute",
+                    )
+                )
+                break
+
+    @staticmethod
+    def _is_constant_zero(expr: Optional[ast.Expr]) -> bool:
+        return isinstance(expr, ast.IntLiteral) and expr.value == 0

@@ -1,0 +1,100 @@
+"""MISRA-C:2004 rule 14.4 — the ``goto`` statement shall not be used.
+
+Paper assessment: gotos compile to plain unconditional branches, which are no
+problem by themselves; the danger is that gotos can create *irreducible*
+loops (multiple-entry cycles).  Those cannot be bounded automatically
+(tier-one) and also disable precision-enhancing techniques such as virtual
+loop unrolling (tier-two).  The checker distinguishes plain gotos from gotos
+that jump *into* a loop body from outside — the irreducibility-creating kind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.minic import ast
+from repro.guidelines.finding import ChallengeTier, Finding, Severity
+from repro.guidelines.rules import Rule, RuleInfo, functions_of
+
+
+class Rule14_4(Rule):
+    info = RuleInfo(
+        rule_id="14.4",
+        title="The goto statement shall not be used",
+        severity=Severity.REQUIRED,
+        challenge=ChallengeTier.TIER_ONE,
+        wcet_impact=(
+            "goto can construct loops with multiple entry points (irreducible "
+            "loops); there is no automatic way to bound them and virtual loop "
+            "unrolling no longer applies."
+        ),
+    )
+
+    def check(self, unit: ast.CompilationUnit) -> List[Finding]:
+        findings: List[Finding] = []
+        for function in functions_of(unit):
+            label_loops = self._label_loop_map(function)
+            goto_loops = self._goto_loop_map(function)
+            for node in ast.walk(function.body):
+                if not isinstance(node, ast.GotoStmt):
+                    continue
+                target_loops = label_loops.get(node.label, set())
+                source_loops = goto_loops.get(id(node), set())
+                jumps_into_loop = bool(target_loops - source_loops)
+                if jumps_into_loop:
+                    message = (
+                        f"goto {node.label!r} jumps into a loop body from outside: "
+                        "this creates an irreducible loop that cannot be bounded "
+                        "automatically"
+                    )
+                else:
+                    message = (
+                        f"goto {node.label!r} used; if it forms a multiple-entry "
+                        "loop the loop cannot be bounded automatically"
+                    )
+                findings.append(self.finding(function.name, node.line, message))
+        return findings
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _collect(
+        statement: Optional[ast.Stmt],
+        enclosing: Tuple[int, ...],
+        label_loops: Dict[str, Set[int]],
+        goto_loops: Dict[int, Set[int]],
+    ) -> None:
+        if statement is None:
+            return
+        if isinstance(statement, ast.LabelStmt):
+            label_loops[statement.label] = set(enclosing)
+            Rule14_4._collect(statement.statement, enclosing, label_loops, goto_loops)
+            return
+        if isinstance(statement, ast.GotoStmt):
+            goto_loops[id(statement)] = set(enclosing)
+            return
+        if isinstance(statement, (ast.WhileStmt, ast.DoWhileStmt, ast.ForStmt)):
+            inner = enclosing + (id(statement),)
+            body = statement.body
+            Rule14_4._collect(body, inner, label_loops, goto_loops)
+            return
+        if isinstance(statement, ast.CompoundStmt):
+            for item in statement.statements:
+                if isinstance(item, ast.Stmt):
+                    Rule14_4._collect(item, enclosing, label_loops, goto_loops)
+            return
+        if isinstance(statement, ast.IfStmt):
+            Rule14_4._collect(statement.then_branch, enclosing, label_loops, goto_loops)
+            Rule14_4._collect(statement.else_branch, enclosing, label_loops, goto_loops)
+            return
+
+    def _label_loop_map(self, function: ast.FunctionDef) -> Dict[str, Set[int]]:
+        label_loops: Dict[str, Set[int]] = {}
+        goto_loops: Dict[int, Set[int]] = {}
+        self._collect(function.body, (), label_loops, goto_loops)
+        return label_loops
+
+    def _goto_loop_map(self, function: ast.FunctionDef) -> Dict[int, Set[int]]:
+        label_loops: Dict[str, Set[int]] = {}
+        goto_loops: Dict[int, Set[int]] = {}
+        self._collect(function.body, (), label_loops, goto_loops)
+        return goto_loops

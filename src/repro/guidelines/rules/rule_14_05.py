@@ -1,0 +1,46 @@
+"""MISRA-C:2004 rule 14.5 — the ``continue`` statement shall not be used.
+
+Paper assessment: this is the rule the paper pushes back on.  ``continue``
+only adds an extra back edge to the loop header and can never create an
+irreducible loop; any loop with ``continue`` has an equivalent if-then-else
+form.  The rule therefore enforces coding style only — violating it has *no*
+impact on binary-level static WCET analysis.  The checker still reports the
+occurrences (the rule is "required" in MISRA), but tags them with
+``ChallengeTier.NONE`` so the predictability assessment does not count them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minic import ast
+from repro.guidelines.finding import ChallengeTier, Finding, Severity
+from repro.guidelines.rules import Rule, RuleInfo, functions_of
+
+
+class Rule14_5(Rule):
+    info = RuleInfo(
+        rule_id="14.5",
+        title="The continue statement shall not be used",
+        severity=Severity.REQUIRED,
+        challenge=ChallengeTier.NONE,
+        wcet_impact=(
+            "None: continue only adds a back edge to the existing loop header "
+            "and cannot produce an irreducible loop; the rule enforces coding "
+            "style, not analyzability."
+        ),
+    )
+
+    def check(self, unit: ast.CompilationUnit) -> List[Finding]:
+        findings: List[Finding] = []
+        for function in functions_of(unit):
+            for node in ast.walk(function.body):
+                if isinstance(node, ast.ContinueStmt):
+                    findings.append(
+                        self.finding(
+                            function.name,
+                            node.line,
+                            "continue used (style only; no WCET-analysis impact)",
+                        )
+                    )
+        return findings

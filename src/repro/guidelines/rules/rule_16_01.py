@@ -1,0 +1,43 @@
+"""MISRA-C:2004 rule 16.1 — functions shall not be defined with a variable
+number of arguments.
+
+Paper assessment: variadic functions inherently iterate over their argument
+list with data-dependent loops, which cannot be bounded automatically
+(tier-one impact).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minic import ast
+from repro.guidelines.finding import ChallengeTier, Finding, Severity
+from repro.guidelines.rules import Rule, RuleInfo
+
+
+class Rule16_1(Rule):
+    info = RuleInfo(
+        rule_id="16.1",
+        title="Functions shall not be defined with a variable number of arguments",
+        severity=Severity.REQUIRED,
+        challenge=ChallengeTier.TIER_ONE,
+        wcet_impact=(
+            "Processing a variable argument list requires a loop whose trip "
+            "count depends on the call site's argument count — a data-dependent "
+            "loop the analysis cannot bound without annotations."
+        ),
+    )
+
+    def check(self, unit: ast.CompilationUnit) -> List[Finding]:
+        findings: List[Finding] = []
+        for function in unit.functions:
+            if function.variadic:
+                findings.append(
+                    self.finding(
+                        function.name,
+                        function.line,
+                        f"function {function.name!r} is declared with a variable "
+                        "argument list ('...')",
+                    )
+                )
+        return findings

@@ -1,0 +1,70 @@
+"""MISRA-C:2004 rule 16.2 — functions shall not call themselves, directly or
+indirectly.
+
+Paper assessment: recursion cycles in the call graph play the same role as
+irreducible loops in the CFG — without a manually supplied recursion depth no
+WCET bound can be computed (tier-one impact).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.minic import ast
+from repro.guidelines.finding import ChallengeTier, Finding, Severity
+from repro.guidelines.rules import Rule, RuleInfo, called_name, calls_in, functions_of
+
+
+class Rule16_2(Rule):
+    info = RuleInfo(
+        rule_id="16.2",
+        title="Functions shall not call themselves, either directly or indirectly",
+        severity=Severity.REQUIRED,
+        challenge=ChallengeTier.TIER_ONE,
+        wcet_impact=(
+            "A recursion cycle in the call graph is the interprocedural "
+            "analogue of an irreducible loop: the recursion depth (and hence a "
+            "WCET bound) can only be established by manual annotation."
+        ),
+    )
+
+    def check(self, unit: ast.CompilationUnit) -> List[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        lines: Dict[str, int] = {}
+        for function in functions_of(unit):
+            lines[function.name] = function.line
+            callees: Set[str] = set()
+            for call in calls_in(function.body):
+                name = called_name(call)
+                if name is not None and unit.function(name) is not None:
+                    callees.add(name)
+            graph[function.name] = callees
+
+        findings: List[Finding] = []
+        for name in sorted(graph):
+            cycle = self._find_cycle(graph, name)
+            if cycle:
+                description = " -> ".join(cycle + [cycle[0]])
+                findings.append(
+                    self.finding(
+                        name,
+                        lines.get(name, 0),
+                        f"function {name!r} is part of the recursion cycle {description}",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _find_cycle(graph: Dict[str, Set[str]], start: str) -> Optional[List[str]]:
+        """Return a call cycle through ``start``, if one exists."""
+        stack = [(start, [start])]
+        visited: Set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            for callee in sorted(graph.get(node, ())):
+                if callee == start:
+                    return path
+                if callee not in visited:
+                    visited.add(callee)
+                    stack.append((callee, path + [callee]))
+        return None

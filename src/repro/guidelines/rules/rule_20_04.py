@@ -1,0 +1,47 @@
+"""MISRA-C:2004 rule 20.4 — dynamic heap memory allocation shall not be used.
+
+Paper assessment: heap addresses are statically unknown, so every access
+through a heap pointer is an *imprecise memory access*: the value analysis
+loses information, the data-cache analysis cannot classify the access and the
+timing analysis must charge the slowest memory module (tier-two impact —
+potentially severe over-estimation).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minic import ast
+from repro.guidelines.finding import ChallengeTier, Finding, Severity
+from repro.guidelines.rules import Rule, RuleInfo, called_name, calls_in, functions_of
+
+_ALLOCATION_FUNCTIONS = {"malloc", "calloc", "realloc", "free", "alloca"}
+
+
+class Rule20_4(Rule):
+    info = RuleInfo(
+        rule_id="20.4",
+        title="Dynamic heap memory allocation shall not be used",
+        severity=Severity.REQUIRED,
+        challenge=ChallengeTier.TIER_TWO,
+        wcet_impact=(
+            "Heap objects have statically unknown addresses; accesses through "
+            "them defeat the value and cache analyses and are charged with the "
+            "slowest memory module, inflating the WCET bound."
+        ),
+    )
+
+    def check(self, unit: ast.CompilationUnit) -> List[Finding]:
+        findings: List[Finding] = []
+        for function in functions_of(unit):
+            for call in calls_in(function.body):
+                name = called_name(call)
+                if name in _ALLOCATION_FUNCTIONS:
+                    findings.append(
+                        self.finding(
+                            function.name,
+                            call.line,
+                            f"dynamic memory management call {name}() used",
+                        )
+                    )
+        return findings

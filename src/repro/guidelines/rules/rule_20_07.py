@@ -1,0 +1,46 @@
+"""MISRA-C:2004 rule 20.7 — the ``setjmp`` macro and the ``longjmp`` function
+shall not be used.
+
+Paper assessment: like ``goto`` (rule 14.4) and recursion (rule 16.2),
+``setjmp``/``longjmp`` allow the construction of irreducible control flow that
+cannot be bounded automatically (tier-one impact).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minic import ast
+from repro.guidelines.finding import ChallengeTier, Finding, Severity
+from repro.guidelines.rules import Rule, RuleInfo, called_name, calls_in, functions_of
+
+_NON_LOCAL_JUMP_FUNCTIONS = {"setjmp", "longjmp", "sigsetjmp", "siglongjmp"}
+
+
+class Rule20_7(Rule):
+    info = RuleInfo(
+        rule_id="20.7",
+        title="The setjmp macro and the longjmp function shall not be used",
+        severity=Severity.REQUIRED,
+        challenge=ChallengeTier.TIER_ONE,
+        wcet_impact=(
+            "Non-local jumps create control flow the CFG reconstruction cannot "
+            "represent as reducible loops; the affected cycles cannot be bounded "
+            "automatically."
+        ),
+    )
+
+    def check(self, unit: ast.CompilationUnit) -> List[Finding]:
+        findings: List[Finding] = []
+        for function in functions_of(unit):
+            for call in calls_in(function.body):
+                name = called_name(call)
+                if name in _NON_LOCAL_JUMP_FUNCTIONS:
+                    findings.append(
+                        self.finding(
+                            function.name,
+                            call.line,
+                            f"non-local jump primitive {name}() used",
+                        )
+                    )
+        return findings

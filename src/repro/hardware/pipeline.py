@@ -1,0 +1,240 @@
+"""In-order pipeline cost model.
+
+Two users share the same per-instruction cost structure so that the soundness
+invariant (static bound ≥ observed time) holds by construction:
+
+* :class:`PipelineModel` computes *static* lower/upper execution-time bounds of
+  a basic block, given the cache classifications and abstract access addresses
+  of its instructions (this is the "Pipeline Analysis" box of Figure 1 — the
+  per-block timing information handed to path analysis);
+* :class:`TraceTimer` replays a concrete execution trace of the interpreter
+  through concrete caches and produces the *observed* cycle count.
+
+The cost of an instruction is::
+
+    fetch cost  (instruction cache hit/miss or plain code-memory latency)
+  + base cost   (per opcode class, from the processor configuration)
+  + memory cost (data cache hit/miss and memory-module latency, for load/store)
+  + branch penalty (if the instruction transfers control)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.domains.interval import Interval
+from repro.analysis.value import AccessInfo
+from repro.cfg.graph import BasicBlock
+from repro.hardware.cache import CacheConfig, CacheStatistics, LRUCacheSimulator
+from repro.hardware.cache_analysis import CacheClassification
+from repro.hardware.processor import ProcessorConfig
+from repro.ir.instructions import INSTRUCTION_SIZE, Instruction, OpClass
+from repro.ir.interpreter import ExecutionTrace
+from repro.ir.program import Program
+
+
+@dataclass
+class BlockTimeBounds:
+    """Static execution-time bounds of one basic block (excluding callees)."""
+
+    block_id: int
+    wcet_cycles: int
+    bcet_cycles: int
+    #: breakdown of the WCET bound (for reports)
+    fetch_cycles: int = 0
+    compute_cycles: int = 0
+    memory_cycles: int = 0
+    branch_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bcet_cycles > self.wcet_cycles:
+            raise ValueError("block BCET bound exceeds its WCET bound")
+
+
+class PipelineModel:
+    """Static per-block timing model for one processor configuration."""
+
+    def __init__(self, processor: ProcessorConfig):
+        self.processor = processor
+
+    # ------------------------------------------------------------------ #
+    # Per-instruction costs
+    # ------------------------------------------------------------------ #
+    def base_cost(self, instruction: Instruction) -> int:
+        return self.processor.latency_of(instruction.op_class)
+
+    def fetch_cost_bounds(
+        self, instruction: Instruction, icache_class: Optional[CacheClassification]
+    ) -> Tuple[int, int]:
+        """(best, worst) fetch cost of one instruction."""
+        miss_cost = self.processor.code_fetch_latency()
+        hit_cost = self.processor.icache_hit_cycles
+        if self.processor.icache is None:
+            return miss_cost, miss_cost
+        if icache_class is CacheClassification.ALWAYS_HIT:
+            return hit_cost, hit_cost
+        if icache_class is CacheClassification.ALWAYS_MISS:
+            return hit_cost, miss_cost  # best case stays optimistic (sound BCET)
+        return hit_cost, miss_cost
+
+    def memory_cost_bounds(
+        self,
+        instruction: Instruction,
+        access: Optional[AccessInfo],
+        dcache_class: Optional[CacheClassification],
+    ) -> Tuple[int, int]:
+        """(best, worst) data-memory cost of one instruction (0 if not memory)."""
+        if not instruction.is_memory_access:
+            return 0, 0
+        if access is None:
+            # Nothing known: assume the slowest module in the worst case.
+            slowest = self.processor.memory_map.slowest_module()
+            worst = max(slowest.read_latency, slowest.write_latency)
+            return self.processor.dcache_hit_cycles, worst
+        best_lat, worst_lat, may_be_cached = self.processor.memory_map.latency_bounds(
+            access.absolute, access.is_load
+        )
+        if self.processor.dcache is None or not may_be_cached:
+            return best_lat, worst_lat
+        hit = self.processor.dcache_hit_cycles
+        if dcache_class is CacheClassification.ALWAYS_HIT:
+            return hit, hit
+        return min(hit, best_lat), worst_lat
+
+    def branch_cost_bounds(self, instruction: Instruction) -> Tuple[int, int]:
+        if instruction.op_class in (OpClass.BRANCH, OpClass.CALL, OpClass.RETURN):
+            penalty = self.processor.branch_penalty
+            # Conditional branches may fall through (no penalty) in the best case.
+            best = 0 if instruction.is_conditional_branch else penalty
+            return best, penalty
+        return 0, 0
+
+    # ------------------------------------------------------------------ #
+    def block_time_bounds(
+        self,
+        block: BasicBlock,
+        icache_classes: Optional[Dict[int, CacheClassification]] = None,
+        dcache_classes: Optional[Dict[int, CacheClassification]] = None,
+        accesses: Optional[Dict[int, AccessInfo]] = None,
+    ) -> BlockTimeBounds:
+        """Compute static (BCET, WCET) cycle bounds for a basic block.
+
+        Callee execution times are *not* included: the WCET analyzer adds the
+        callee bound at each call site during path analysis.
+        """
+        icache_classes = icache_classes or {}
+        dcache_classes = dcache_classes or {}
+        accesses = accesses or {}
+
+        wcet = bcet = 0
+        fetch_total = compute_total = memory_total = branch_total = 0
+        for instr in block.instructions:
+            fetch_best, fetch_worst = self.fetch_cost_bounds(
+                instr, icache_classes.get(instr.address)
+            )
+            base = self.base_cost(instr)
+            mem_best, mem_worst = self.memory_cost_bounds(
+                instr, accesses.get(instr.address), dcache_classes.get(instr.address)
+            )
+            branch_best, branch_worst = self.branch_cost_bounds(instr)
+            wcet += fetch_worst + base + mem_worst + branch_worst
+            bcet += fetch_best + base + mem_best + branch_best
+            fetch_total += fetch_worst
+            compute_total += base
+            memory_total += mem_worst
+            branch_total += branch_worst
+        return BlockTimeBounds(
+            block_id=block.id,
+            wcet_cycles=wcet,
+            bcet_cycles=bcet,
+            fetch_cycles=fetch_total,
+            compute_cycles=compute_total,
+            memory_cycles=memory_total,
+            branch_cycles=branch_total,
+        )
+
+
+@dataclass
+class TraceTimingResult:
+    """Observed execution time of one concrete run."""
+
+    cycles: int
+    instructions: int
+    icache_stats: Optional[CacheStatistics] = None
+    dcache_stats: Optional[CacheStatistics] = None
+
+
+class TraceTimer:
+    """Replay an interpreter trace through concrete caches and count cycles."""
+
+    def __init__(self, processor: ProcessorConfig, program: Program):
+        self.processor = processor
+        self.program = program
+        program.ensure_layout()
+
+    def time(self, trace: ExecutionTrace) -> TraceTimingResult:
+        processor = self.processor
+        model = PipelineModel(processor)
+        icache = LRUCacheSimulator(processor.icache) if processor.icache else None
+        dcache = LRUCacheSimulator(processor.dcache) if processor.dcache else None
+        code_latency = processor.code_fetch_latency()
+
+        cycles = 0
+        access_index = 0
+        accesses = trace.memory_accesses
+        addresses = trace.instruction_addresses
+
+        for position, address in enumerate(addresses):
+            instr = self.program.instruction_at(address)
+
+            # --- fetch ------------------------------------------------- #
+            if icache is not None:
+                hit = icache.access(address, INSTRUCTION_SIZE)
+                cycles += processor.icache_hit_cycles if hit else code_latency
+            else:
+                cycles += code_latency
+
+            # --- execute ------------------------------------------------ #
+            cycles += model.base_cost(instr)
+
+            # --- data memory -------------------------------------------- #
+            if instr.is_memory_access:
+                if (
+                    access_index < len(accesses)
+                    and accesses[access_index].instruction_address == address
+                ):
+                    access = accesses[access_index]
+                    access_index += 1
+                    module = processor.memory_map.module_for(access.address)
+                    latency_interval = Interval.const(access.address)
+                    best, worst = 0, 0
+                    if module is not None:
+                        latency = (
+                            module.read_latency if access.is_load else module.write_latency
+                        )
+                    else:
+                        slowest = processor.memory_map.slowest_module()
+                        latency = max(slowest.read_latency, slowest.write_latency)
+                    if dcache is not None and module is not None and module.cached:
+                        hit = dcache.access(access.address, access.size)
+                        cycles += processor.dcache_hit_cycles if hit else latency
+                    else:
+                        cycles += latency
+                # else: predicated access that did not take effect — only the
+                # fetch and base cost are charged.
+
+            # --- control transfer penalty -------------------------------- #
+            if instr.op_class in (OpClass.BRANCH, OpClass.CALL, OpClass.RETURN):
+                taken = True
+                if position + 1 < len(addresses):
+                    taken = addresses[position + 1] != address + INSTRUCTION_SIZE
+                if taken:
+                    cycles += processor.branch_penalty
+
+        return TraceTimingResult(
+            cycles=cycles,
+            instructions=len(addresses),
+            icache_stats=icache.stats if icache else None,
+            dcache_stats=dcache.stats if dcache else None,
+        )

@@ -1,0 +1,521 @@
+"""Concrete interpreter for IR programs.
+
+The interpreter plays two roles in the reproduction:
+
+1. It is the *measurement-based* counterpart to the static WCET analyzer: the
+   execution trace it produces can be replayed through the concrete cache and
+   pipeline simulators of :mod:`repro.hardware` to obtain an observed execution
+   time, which by the soundness invariant must never exceed the static bound.
+2. It validates the mini-C code generator and the workload programs
+   (functional correctness, loop iteration counts, ...).
+
+Semantics
+---------
+
+* Registers hold either 32-bit two's-complement integers or Python floats
+  (the opcode decides the interpretation; ``itof``/``ftoi`` convert).
+* Memory is a flat 32-bit byte-addressable space backed by a sparse word map.
+* Integer division truncates towards zero (C semantics) and traps on zero.
+* A predicated instruction whose predicate register is zero performs no
+  architectural effect, but is still recorded in the trace as fetched — this is
+  exactly the cost model under which the paper criticises the single-path
+  paradigm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExecutionError, IRError
+from repro.ir.instructions import (
+    ARGUMENT_REGISTERS,
+    INSTRUCTION_SIZE,
+    NUM_REGISTERS,
+    RETURN_VALUE_REGISTER,
+    Imm,
+    Instruction,
+    Label,
+    Opcode,
+    Reg,
+    Sym,
+)
+from repro.ir.program import Program, STACK_TOP, WORD_SIZE
+
+MASK32 = 0xFFFF_FFFF
+SIGN_BIT = 0x8000_0000
+
+Number = Union[int, float]
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit pattern as a signed integer."""
+    value &= MASK32
+    return value - 0x1_0000_0000 if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Interpret a (possibly negative) integer as its 32-bit unsigned pattern."""
+    return value & MASK32
+
+
+def wrap32(value: int) -> int:
+    """Wrap an integer to signed 32-bit two's complement."""
+    return to_signed(value & MASK32)
+
+
+@dataclass
+class MemoryAccess:
+    """One data memory access performed during execution."""
+
+    address: int
+    size: int
+    is_load: bool
+    instruction_address: int
+
+
+@dataclass
+class ExecutionTrace:
+    """Complete record of one program execution.
+
+    ``instruction_addresses`` is the sequence of fetched instruction addresses
+    (the program path); ``memory_accesses`` the data accesses in program order.
+    Both are consumed by the concrete cache/pipeline simulators.
+    """
+
+    instruction_addresses: List[int] = field(default_factory=list)
+    memory_accesses: List[MemoryAccess] = field(default_factory=list)
+    block_counts: Dict[int, int] = field(default_factory=dict)
+    call_counts: Dict[str, int] = field(default_factory=dict)
+
+    def record_instruction(self, address: int) -> None:
+        self.instruction_addresses.append(address)
+
+    def record_access(self, access: MemoryAccess) -> None:
+        self.memory_accesses.append(access)
+
+    @property
+    def length(self) -> int:
+        return len(self.instruction_addresses)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of :meth:`Interpreter.run`."""
+
+    return_value: int
+    steps: int
+    halted: bool
+    registers: Dict[str, Number]
+    trace: ExecutionTrace
+    function_name: str
+
+    def executed_addresses(self) -> List[int]:
+        return self.trace.instruction_addresses
+
+
+class MachineState:
+    """Registers + memory of the abstract machine."""
+
+    def __init__(self) -> None:
+        self.registers: Dict[str, Number] = {f"r{i}": 0 for i in range(NUM_REGISTERS)}
+        # Sparse word-addressed memory: word-aligned address -> value.
+        self._memory: Dict[int, Number] = {}
+
+    # ------------------------------------------------------------------ #
+    def get_register(self, name: str) -> Number:
+        return self.registers[name]
+
+    def set_register(self, name: str, value: Number) -> None:
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, int):
+            value = wrap32(value)
+        self.registers[name] = value
+
+    # ------------------------------------------------------------------ #
+    def load_word(self, address: int) -> Number:
+        if address % WORD_SIZE:
+            raise ExecutionError(f"unaligned word load at {address:#x}")
+        return self._memory.get(address, 0)
+
+    def store_word(self, address: int, value: Number) -> None:
+        if address % WORD_SIZE:
+            raise ExecutionError(f"unaligned word store at {address:#x}")
+        if isinstance(value, int):
+            value = wrap32(value)
+        self._memory[address] = value
+
+    def load_byte(self, address: int) -> int:
+        base = address - (address % WORD_SIZE)
+        word = self._memory.get(base, 0)
+        if isinstance(word, float):
+            raise ExecutionError(f"byte load from float-typed word at {address:#x}")
+        shift = 8 * (address % WORD_SIZE)
+        return (to_unsigned(word) >> shift) & 0xFF
+
+    def store_byte(self, address: int, value: int) -> None:
+        base = address - (address % WORD_SIZE)
+        word = self._memory.get(base, 0)
+        if isinstance(word, float):
+            word = 0
+        shift = 8 * (address % WORD_SIZE)
+        mask = 0xFF << shift
+        new = (to_unsigned(word) & ~mask) | ((value & 0xFF) << shift)
+        self._memory[base] = to_signed(new)
+
+    def dump_memory(self) -> Dict[int, Number]:
+        return dict(self._memory)
+
+
+@dataclass
+class _Frame:
+    return_address: int
+    function_name: str
+
+
+class Interpreter:
+    """Executes a laid-out :class:`~repro.ir.program.Program`.
+
+    Parameters
+    ----------
+    program:
+        The program to execute; it is laid out and validated if necessary.
+    max_steps:
+        Execution is aborted with :class:`ExecutionError` after this many
+        instructions — a safety net for diverging workloads under test.
+    trace_instructions:
+        Set to ``False`` to skip recording the full instruction trace (block
+        counts are still collected); useful for very long runs.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        max_steps: int = 2_000_000,
+        trace_instructions: bool = True,
+    ):
+        program.validate()
+        self.program = program
+        self.max_steps = max_steps
+        self.trace_instructions = trace_instructions
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        function_name: Optional[str] = None,
+        args: Sequence[Number] = (),
+        initial_memory: Optional[Dict[int, Number]] = None,
+        initial_data: Optional[Dict[str, Sequence[Number]]] = None,
+    ) -> ExecutionResult:
+        """Execute ``function_name`` (default: the program entry) to completion.
+
+        ``args`` are placed in the argument registers r3..r10.
+        ``initial_memory`` maps absolute word addresses to initial values;
+        ``initial_data`` maps data-object names to sequences of word values,
+        a convenient way to set up input buffers per run.
+        """
+        name = function_name or self.program.entry
+        function = self.program.function(name)
+        if len(args) > len(ARGUMENT_REGISTERS):
+            raise ExecutionError(
+                f"at most {len(ARGUMENT_REGISTERS)} register arguments supported"
+            )
+
+        state = MachineState()
+        state.set_register("r29", STACK_TOP)  # sp
+        state.set_register("r30", STACK_TOP)  # fp
+        for register, value in zip(ARGUMENT_REGISTERS, args):
+            state.set_register(register, value)
+
+        # Initialise static data.
+        for obj in self.program.data_objects.values():
+            for index, value in enumerate(obj.initial):
+                state.store_word(obj.address + index * WORD_SIZE, value)
+        if initial_data:
+            for obj_name, values in initial_data.items():
+                obj = self.program.data(obj_name)
+                for index, value in enumerate(values):
+                    if index * WORD_SIZE >= obj.size:
+                        raise ExecutionError(
+                            f"initial data for {obj_name!r} exceeds its size"
+                        )
+                    state.store_word(obj.address + index * WORD_SIZE, value)
+        if initial_memory:
+            for address, value in initial_memory.items():
+                state.store_word(address, value)
+
+        trace = ExecutionTrace()
+        trace.call_counts[name] = 1
+        frames: List[_Frame] = []
+        pc = function.entry_address
+        current_function = function
+        steps = 0
+        halted = False
+        label_cache: Dict[str, Dict[str, int]] = {}
+
+        while True:
+            if steps >= self.max_steps:
+                raise ExecutionError(
+                    f"execution exceeded {self.max_steps} steps (diverging program?)"
+                )
+            if not (
+                current_function.entry_address
+                <= pc
+                < current_function.end_address
+            ):
+                current_function = self.program.function_at(pc)
+            instr = current_function.instruction_at(pc)
+            steps += 1
+            if self.trace_instructions:
+                trace.record_instruction(pc)
+            trace.block_counts[pc] = trace.block_counts.get(pc, 0) + 1
+
+            next_pc = pc + INSTRUCTION_SIZE
+            take_effect = True
+            if instr.pred is not None:
+                take_effect = self._int(state.get_register(instr.pred.name)) != 0
+
+            if take_effect:
+                control = self._execute(
+                    instr, state, trace, current_function, label_cache, frames, pc
+                )
+                if control is _HALT:
+                    halted = True
+                    break
+                if control is _RETURN:
+                    if not frames:
+                        break
+                    frame = frames.pop()
+                    next_pc = frame.return_address
+                elif control is not None:
+                    next_pc = control
+            pc = next_pc
+
+        return ExecutionResult(
+            return_value=self._int(state.get_register(RETURN_VALUE_REGISTER)),
+            steps=steps,
+            halted=halted,
+            registers=dict(state.registers),
+            trace=trace,
+            function_name=name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Instruction semantics
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _int(value: Number) -> int:
+        if isinstance(value, float):
+            return wrap32(int(value))
+        return value
+
+    def _operand_value(self, operand, state: MachineState) -> Number:
+        if isinstance(operand, Reg):
+            return state.get_register(operand.name)
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Sym):
+            return self.program.symbol_address(operand.name)
+        raise ExecutionError(f"cannot evaluate operand {operand!r}")
+
+    def _execute(
+        self,
+        instr: Instruction,
+        state: MachineState,
+        trace: ExecutionTrace,
+        function,
+        label_cache: Dict[str, Dict[str, int]],
+        frames: List[_Frame],
+        pc: int,
+    ):
+        op = instr.opcode
+        val = lambda index: self._operand_value(instr.operands[index], state)
+
+        if op is Opcode.NOP:
+            return None
+        if op is Opcode.HALT:
+            return _HALT
+        if op is Opcode.MOV:
+            state.set_register(instr.dest.name, val(0))
+            return None
+        if op is Opcode.LA:
+            symbol = instr.operands[0]
+            state.set_register(instr.dest.name, self.program.symbol_address(symbol.name))
+            return None
+
+        if op in _INT_BINOPS:
+            a = self._int(val(0))
+            b = self._int(val(1))
+            state.set_register(instr.dest.name, _INT_BINOPS[op](a, b))
+            return None
+        if op is Opcode.NOT:
+            state.set_register(instr.dest.name, wrap32(~self._int(val(0))))
+            return None
+        if op is Opcode.NEG:
+            state.set_register(instr.dest.name, wrap32(-self._int(val(0))))
+            return None
+
+        if op in _FLOAT_BINOPS:
+            a = float(val(0))
+            b = float(val(1))
+            state.set_register(instr.dest.name, _FLOAT_BINOPS[op](a, b))
+            return None
+        if op is Opcode.FNEG:
+            state.set_register(instr.dest.name, -float(val(0)))
+            return None
+        if op is Opcode.ITOF:
+            state.set_register(instr.dest.name, float(self._int(val(0))))
+            return None
+        if op is Opcode.FTOI:
+            state.set_register(instr.dest.name, wrap32(int(float(val(0)))))
+            return None
+
+        if op in (Opcode.LOAD, Opcode.LOADB):
+            base = self._int(val(0))
+            address = to_unsigned(base + instr.offset)
+            size = WORD_SIZE if op is Opcode.LOAD else 1
+            trace.record_access(
+                MemoryAccess(address=address, size=size, is_load=True, instruction_address=pc)
+            )
+            if op is Opcode.LOAD:
+                state.set_register(instr.dest.name, state.load_word(address))
+            else:
+                state.set_register(instr.dest.name, state.load_byte(address))
+            return None
+        if op in (Opcode.STORE, Opcode.STOREB):
+            value = val(0)
+            base = self._int(val(1))
+            address = to_unsigned(base + instr.offset)
+            size = WORD_SIZE if op is Opcode.STORE else 1
+            obj = self.program.data_object_at(address)
+            if obj is not None and obj.readonly:
+                raise ExecutionError(
+                    f"store to read-only data object {obj.name!r} at {address:#x}"
+                )
+            trace.record_access(
+                MemoryAccess(address=address, size=size, is_load=False, instruction_address=pc)
+            )
+            if op is Opcode.STORE:
+                state.store_word(address, value)
+            else:
+                state.store_byte(address, self._int(value))
+            return None
+
+        if op is Opcode.BR:
+            return self._label_address(function, instr.branch_target(), label_cache)
+        if op in (Opcode.BT, Opcode.BF):
+            cond = self._int(val(0))
+            taken = (cond != 0) if op is Opcode.BT else (cond == 0)
+            if taken:
+                return self._label_address(function, instr.branch_target(), label_cache)
+            return None
+        if op is Opcode.IBR:
+            target = to_unsigned(self._int(val(0)))
+            return target
+        if op is Opcode.CALL:
+            target_name = instr.call_target()
+            callee = self.program.function(target_name)
+            frames.append(_Frame(pc + INSTRUCTION_SIZE, function.name))
+            trace.call_counts[target_name] = trace.call_counts.get(target_name, 0) + 1
+            if len(frames) > 4096:
+                raise ExecutionError("call stack overflow (runaway recursion?)")
+            return callee.entry_address
+        if op is Opcode.ICALL:
+            target = to_unsigned(self._int(val(0)))
+            callee = self.program.function_by_entry(target)
+            if callee is None:
+                raise ExecutionError(
+                    f"indirect call to {target:#x}, which is not a function entry"
+                )
+            frames.append(_Frame(pc + INSTRUCTION_SIZE, function.name))
+            trace.call_counts[callee.name] = trace.call_counts.get(callee.name, 0) + 1
+            if len(frames) > 4096:
+                raise ExecutionError("call stack overflow (runaway recursion?)")
+            return callee.entry_address
+        if op is Opcode.RET:
+            return _RETURN
+
+        raise ExecutionError(f"unimplemented opcode {op.value!r}")
+
+    def _label_address(self, function, label: Optional[str], cache) -> int:
+        if label is None:
+            raise ExecutionError("branch without a label target")
+        table = cache.get(function.name)
+        if table is None:
+            table = function.label_addresses()
+            cache[function.name] = table
+        try:
+            return table[label]
+        except KeyError as exc:
+            raise ExecutionError(
+                f"undefined label {label!r} in function {function.name!r}"
+            ) from exc
+
+
+# Sentinels used by _execute to signal control transfers.
+_HALT = object()
+_RETURN = object()
+
+
+def _divide_trunc(a: int, b: int) -> int:
+    if b == 0:
+        raise ExecutionError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return wrap32(quotient)
+
+
+def _remainder_trunc(a: int, b: int) -> int:
+    if b == 0:
+        raise ExecutionError("integer remainder by zero")
+    return wrap32(a - _divide_trunc(a, b) * b)
+
+
+def _divu(a: int, b: int) -> int:
+    if b == 0:
+        raise ExecutionError("integer division by zero")
+    return wrap32(to_unsigned(a) // to_unsigned(b))
+
+
+def _remu(a: int, b: int) -> int:
+    if b == 0:
+        raise ExecutionError("integer remainder by zero")
+    return wrap32(to_unsigned(a) % to_unsigned(b))
+
+
+_INT_BINOPS = {
+    Opcode.ADD: lambda a, b: wrap32(a + b),
+    Opcode.SUB: lambda a, b: wrap32(a - b),
+    Opcode.MUL: lambda a, b: wrap32(a * b),
+    Opcode.DIVS: _divide_trunc,
+    Opcode.DIVU: _divu,
+    Opcode.REMS: _remainder_trunc,
+    Opcode.REMU: _remu,
+    Opcode.AND: lambda a, b: wrap32(to_unsigned(a) & to_unsigned(b)),
+    Opcode.OR: lambda a, b: wrap32(to_unsigned(a) | to_unsigned(b)),
+    Opcode.XOR: lambda a, b: wrap32(to_unsigned(a) ^ to_unsigned(b)),
+    Opcode.SHL: lambda a, b: wrap32(to_unsigned(a) << (to_unsigned(b) & 31)),
+    Opcode.SHR: lambda a, b: wrap32(to_unsigned(a) >> (to_unsigned(b) & 31)),
+    Opcode.SRA: lambda a, b: wrap32(a >> (to_unsigned(b) & 31)),
+    Opcode.SEQ: lambda a, b: int(a == b),
+    Opcode.SNE: lambda a, b: int(a != b),
+    Opcode.SLT: lambda a, b: int(a < b),
+    Opcode.SLE: lambda a, b: int(a <= b),
+    Opcode.SGT: lambda a, b: int(a > b),
+    Opcode.SGE: lambda a, b: int(a >= b),
+    Opcode.SLTU: lambda a, b: int(to_unsigned(a) < to_unsigned(b)),
+    Opcode.SGEU: lambda a, b: int(to_unsigned(a) >= to_unsigned(b)),
+}
+
+_FLOAT_BINOPS = {
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: lambda a, b: a / b if b != 0.0 else float("inf") if a > 0 else float("-inf") if a < 0 else float("nan"),
+    Opcode.FSEQ: lambda a, b: int(a == b),
+    Opcode.FSNE: lambda a, b: int(a != b),
+    Opcode.FSLT: lambda a, b: int(a < b),
+    Opcode.FSLE: lambda a, b: int(a <= b),
+}

@@ -1,0 +1,399 @@
+"""Programs, functions and data objects of the repro IR.
+
+A :class:`Program` is the unit the WCET analyzer works on — the moral
+equivalent of the "input executable" in Figure 1 of the paper.  It owns
+
+* a set of :class:`Function` objects (the code segment),
+* a set of :class:`DataObject` objects (the data segment), and
+* an address layout: every instruction and data object gets a byte address in
+  a flat 32-bit address space so the cache and memory-map analyses can reason
+  about concrete addresses.
+
+The default layout places code at :data:`CODE_BASE`, data at
+:data:`DATA_BASE` and reserves a descending stack starting at
+:data:`STACK_TOP`; memory-mapped device regions can be added on top of that by
+the hardware model (:mod:`repro.hardware.memory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    INSTRUCTION_SIZE,
+    Instruction,
+    Opcode,
+    validate_instruction,
+)
+
+#: Base address of the code segment.
+CODE_BASE = 0x0000_1000
+#: Base address of the static data segment.
+DATA_BASE = 0x2000_0000
+#: Initial stack pointer (stack grows towards lower addresses).
+STACK_TOP = 0x3FFF_FFF0
+#: Size of the stack region in bytes.
+STACK_SIZE = 0x0010_0000
+#: Base address of the heap region used by the (MISRA-discouraged) allocator.
+HEAP_BASE = 0x4000_0000
+#: Size of the heap region in bytes.
+HEAP_SIZE = 0x0010_0000
+#: Base address of the memory-mapped device region (CAN/FlexRay controllers...).
+DEVICE_BASE = 0x8000_0000
+#: Size of the memory-mapped device region.
+DEVICE_SIZE = 0x0001_0000
+
+WORD_SIZE = 4
+
+
+@dataclass
+class DataObject:
+    """A statically allocated data object (global variable, buffer, table).
+
+    Attributes
+    ----------
+    name:
+        Symbol name.
+    size:
+        Size in bytes (word aligned by the layout).
+    initial:
+        Optional initial word values (missing words are zero).
+    region:
+        Logical region name; ``"data"`` objects live in RAM, ``"device"``
+        objects are placed in the memory-mapped I/O region (slow, uncached) —
+        this is how the "imprecise memory accesses" experiment of Section 4.3
+        distinguishes fast and slow memory.
+    readonly:
+        Whether the object models constant data (e.g. lookup tables).
+    address:
+        Assigned base address after layout (-1 before).
+    """
+
+    name: str
+    size: int
+    initial: Tuple[int, ...] = ()
+    region: str = "data"
+    readonly: bool = False
+    address: int = -1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise IRError(f"data object {self.name!r} must have positive size")
+        # Word-align the size so layout arithmetic stays simple.
+        if self.size % WORD_SIZE:
+            self.size += WORD_SIZE - (self.size % WORD_SIZE)
+        self.initial = tuple(self.initial)
+        if len(self.initial) * WORD_SIZE > self.size:
+            raise IRError(
+                f"data object {self.name!r}: {len(self.initial)} initial words "
+                f"do not fit into {self.size} bytes"
+            )
+
+    @property
+    def end_address(self) -> int:
+        """First byte address past the object (valid after layout)."""
+        return self.address + self.size
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` falls inside this object (after layout)."""
+        return self.address <= address < self.end_address
+
+
+@dataclass
+class Function:
+    """A function: a named, contiguous sequence of instructions.
+
+    The instruction list is laid out contiguously in the code segment; the
+    entry point is the first instruction.  Labels are local to the function.
+    """
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    #: Number of formal parameters (metadata used by the call-graph and the
+    #: guideline checker; the calling convention passes them in r3..r10).
+    num_params: int = 0
+    #: True if the function was produced from a variadic mini-C declaration.
+    variadic: bool = False
+    #: Source file / provenance note.
+    source: str = ""
+    #: Entry address after layout.
+    entry_address: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise IRError("function must have a name")
+
+    # ------------------------------------------------------------------ #
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    @property
+    def size(self) -> int:
+        """Size of the function body in bytes."""
+        return len(self.instructions) * INSTRUCTION_SIZE
+
+    @property
+    def end_address(self) -> int:
+        return self.entry_address + self.size
+
+    def labels(self) -> Dict[str, int]:
+        """Map from label name to instruction index."""
+        result: Dict[str, int] = {}
+        for index, instr in enumerate(self.instructions):
+            if instr.label:
+                if instr.label in result:
+                    raise IRError(
+                        f"duplicate label {instr.label!r} in function {self.name!r}"
+                    )
+                result[instr.label] = index
+        return result
+
+    def label_addresses(self) -> Dict[str, int]:
+        """Map from label name to instruction address (after layout)."""
+        return {
+            label: self.instructions[index].address
+            for label, index in self.labels().items()
+        }
+
+    def instruction_at(self, address: int) -> Instruction:
+        """Return the instruction located at ``address``.
+
+        Raises :class:`IRError` if the address is not inside this function.
+        """
+        if self.entry_address < 0:
+            raise IRError(f"function {self.name!r} has not been laid out")
+        offset = address - self.entry_address
+        if offset < 0 or offset % INSTRUCTION_SIZE or offset >= self.size:
+            raise IRError(
+                f"address {address:#x} is not an instruction of {self.name!r}"
+            )
+        return self.instructions[offset // INSTRUCTION_SIZE]
+
+    def validate(self) -> None:
+        """Validate all instructions and branch-target labels."""
+        labels = self.labels()
+        for instr in self.instructions:
+            validate_instruction(instr)
+            target = instr.branch_target()
+            if target is not None and target not in labels:
+                raise IRError(
+                    f"function {self.name!r}: branch to undefined label {target!r}"
+                )
+        if self.instructions:
+            last = self.instructions[-1]
+            if not last.is_terminator:
+                raise IRError(
+                    f"function {self.name!r} does not end in a terminator "
+                    f"(found {last.opcode.value!r})"
+                )
+
+
+class Program:
+    """A complete IR program: functions plus data objects plus layout.
+
+    Parameters
+    ----------
+    entry:
+        Name of the entry function (the "task" analysed for its WCET — the
+        paper notes a task usually corresponds to a specific entry point of
+        the analysed executable).
+    """
+
+    def __init__(self, entry: str = "main"):
+        self.entry = entry
+        self._functions: Dict[str, Function] = {}
+        self._data: Dict[str, DataObject] = {}
+        self._laid_out = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_function(self, function: Function) -> Function:
+        if function.name in self._functions:
+            raise IRError(f"duplicate function {function.name!r}")
+        self._functions[function.name] = function
+        self._laid_out = False
+        return function
+
+    def add_data(self, data: DataObject) -> DataObject:
+        if data.name in self._data:
+            raise IRError(f"duplicate data object {data.name!r}")
+        self._data[data.name] = data
+        self._laid_out = False
+        return data
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def functions(self) -> Dict[str, Function]:
+        return dict(self._functions)
+
+    @property
+    def data_objects(self) -> Dict[str, DataObject]:
+        return dict(self._data)
+
+    def function(self, name: str) -> Function:
+        try:
+            return self._functions[name]
+        except KeyError as exc:
+            raise IRError(f"unknown function {name!r}") from exc
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def data(self, name: str) -> DataObject:
+        try:
+            return self._data[name]
+        except KeyError as exc:
+            raise IRError(f"unknown data object {name!r}") from exc
+
+    def has_data(self, name: str) -> bool:
+        return name in self._data
+
+    def symbol_address(self, name: str) -> int:
+        """Address of a function or data symbol (after layout)."""
+        self.ensure_layout()
+        if name in self._functions:
+            return self._functions[name].entry_address
+        if name in self._data:
+            return self._data[name].address
+        raise IRError(f"unknown symbol {name!r}")
+
+    def function_at(self, address: int) -> Function:
+        """Function containing the given code address."""
+        self.ensure_layout()
+        for function in self._functions.values():
+            if function.entry_address <= address < function.end_address:
+                return function
+        raise IRError(f"no function contains address {address:#x}")
+
+    def function_by_entry(self, address: int) -> Optional[Function]:
+        """Function whose entry point is exactly ``address`` (or ``None``)."""
+        self.ensure_layout()
+        for function in self._functions.values():
+            if function.entry_address == address:
+                return function
+        return None
+
+    def data_object_at(self, address: int) -> Optional[DataObject]:
+        """Data object containing ``address`` (or ``None``)."""
+        self.ensure_layout()
+        for obj in self._data.values():
+            if obj.contains(address):
+                return obj
+        return None
+
+    def instruction_at(self, address: int) -> Instruction:
+        return self.function_at(address).instruction_at(address)
+
+    def entry_function(self) -> Function:
+        return self.function(self.entry)
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self._functions.values())
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+    def layout(self) -> None:
+        """Assign addresses to all instructions and data objects.
+
+        Functions are placed back to back starting at :data:`CODE_BASE` in
+        insertion order; ``data`` region objects start at :data:`DATA_BASE`
+        and ``device`` region objects at :data:`DEVICE_BASE`.
+        """
+        address = CODE_BASE
+        for function in self._functions.values():
+            function.entry_address = address
+            placed = []
+            for instr in function.instructions:
+                placed.append(instr.with_address(address))
+                address += INSTRUCTION_SIZE
+            function.instructions = placed
+
+        data_address = DATA_BASE
+        device_address = DEVICE_BASE
+        for obj in self._data.values():
+            if obj.region == "device":
+                obj.address = device_address
+                device_address += obj.size
+            elif obj.region == "heap":
+                # Heap-modelled objects are *not* given a static address: the
+                # whole point of MISRA rule 20.4 is that their addresses are
+                # statically unknown.  They are placed inside the heap region
+                # only for the concrete interpreter.
+                obj.address = HEAP_BASE + (obj.address if obj.address > 0 else 0)
+            else:
+                obj.address = data_address
+                data_address += obj.size
+        # Second pass for heap objects to pack them after each other.
+        heap_address = HEAP_BASE
+        for obj in self._data.values():
+            if obj.region == "heap":
+                obj.address = heap_address
+                heap_address += obj.size
+
+        self._laid_out = True
+
+    @property
+    def is_laid_out(self) -> bool:
+        return self._laid_out
+
+    def ensure_layout(self) -> None:
+        if not self._laid_out:
+            self.layout()
+
+    def validate(self) -> None:
+        """Validate every function and the entry point, then lay out."""
+        if self.entry not in self._functions:
+            raise IRError(f"entry function {self.entry!r} is not defined")
+        for function in self._functions.values():
+            function.validate()
+            for instr in function.instructions:
+                target = instr.call_target()
+                if target is not None and target not in self._functions:
+                    raise IRError(
+                        f"function {function.name!r} calls undefined function "
+                        f"{target!r}"
+                    )
+        self.ensure_layout()
+
+    # ------------------------------------------------------------------ #
+    # Statistics & rendering
+    # ------------------------------------------------------------------ #
+    def code_size(self) -> int:
+        return sum(f.size for f in self._functions.values())
+
+    def instruction_count(self) -> int:
+        return sum(len(f) for f in self._functions.values())
+
+    def listing(self) -> str:
+        """Produce a human-readable assembly listing of the whole program."""
+        self.ensure_layout()
+        lines: List[str] = []
+        for obj in self._data.values():
+            init = f" = {list(obj.initial)}" if obj.initial else ""
+            lines.append(
+                f".data {obj.name} {obj.size} @{obj.address:#010x} "
+                f"[{obj.region}]{init}"
+            )
+        for function in self._functions.values():
+            lines.append(f".func {function.name} @{function.entry_address:#010x}")
+            for instr in function.instructions:
+                lines.append(f"    {instr.address:#010x}: {instr}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Program(entry={self.entry!r}, functions={len(self._functions)}, "
+            f"data={len(self._data)}, instructions={self.instruction_count()})"
+        )

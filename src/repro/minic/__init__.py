@@ -1,0 +1,92 @@
+"""Mini-C frontend: lexer, parser, type checker and IR code generator.
+
+The paper discusses coding guidelines at the *source* level (MISRA-C) and
+timing analysis at the *binary* level (aiT).  This package provides both ends
+for the reproduction: a small C-like language rich enough to express every
+code pattern the paper discusses — counter and data-dependent loops, ``goto``
+into loops, ``continue``, recursion, variadic functions, function pointers,
+dynamic allocation, ``setjmp``/``longjmp``, floating-point loop conditions —
+plus a code generator that lowers it onto the :mod:`repro.ir` register IR the
+WCET analyzer consumes.
+
+Typical use::
+
+    from repro.minic import compile_source
+    program = compile_source(source_text)              # -> repro.ir.Program
+    ast = parse_source(source_text)                    # -> AST for the checker
+"""
+
+from repro.minic.ast import (
+    ArrayType,
+    AssignExpr,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    CompilationUnit,
+    CompoundStmt,
+    ContinueStmt,
+    DoWhileStmt,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    FunctionDef,
+    FunctionType,
+    GotoStmt,
+    Identifier,
+    IfStmt,
+    IndexExpr,
+    IntLiteral,
+    LabelStmt,
+    Parameter,
+    PointerType,
+    ReturnStmt,
+    ScalarType,
+    Type,
+    UnaryExpr,
+    VarDecl,
+    WhileStmt,
+)
+from repro.minic.lexer import Token, TokenKind, tokenize
+from repro.minic.cparser import parse_source
+from repro.minic.typecheck import TypeChecker, check_types
+from repro.minic.codegen import CodeGenerator, compile_source, compile_unit
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_source",
+    "check_types",
+    "TypeChecker",
+    "CodeGenerator",
+    "compile_source",
+    "compile_unit",
+    "CompilationUnit",
+    "FunctionDef",
+    "VarDecl",
+    "Parameter",
+    "Type",
+    "ScalarType",
+    "PointerType",
+    "ArrayType",
+    "FunctionType",
+    "CompoundStmt",
+    "IfStmt",
+    "WhileStmt",
+    "DoWhileStmt",
+    "ForStmt",
+    "ReturnStmt",
+    "BreakStmt",
+    "ContinueStmt",
+    "GotoStmt",
+    "LabelStmt",
+    "ExprStmt",
+    "IntLiteral",
+    "FloatLiteral",
+    "Identifier",
+    "UnaryExpr",
+    "BinaryExpr",
+    "AssignExpr",
+    "CallExpr",
+    "IndexExpr",
+]

@@ -1,0 +1,360 @@
+"""Abstract syntax tree of the mini-C language.
+
+All nodes carry their source ``line`` so that the guideline checker can report
+findings with locations and the code generator can tag the emitted IR
+instructions (annotations and reports refer back to source lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+# --------------------------------------------------------------------------- #
+# Types
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScalarType:
+    """``int``, ``unsigned``, ``float`` or ``void``."""
+
+    name: str  # "int" | "unsigned" | "float" | "void"
+
+    @property
+    def is_float(self) -> bool:
+        return self.name == "float"
+
+    @property
+    def is_integer(self) -> bool:
+        return self.name in ("int", "unsigned")
+
+    @property
+    def is_unsigned(self) -> bool:
+        return self.name == "unsigned"
+
+    @property
+    def is_void(self) -> bool:
+        return self.name == "void"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PointerType:
+    """Pointer to another type."""
+
+    pointee: "Type"
+
+    @property
+    def is_float(self) -> bool:
+        return False
+
+    @property
+    def is_integer(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """Fixed-size one-dimensional array."""
+
+    element: "Type"
+    length: int
+
+    @property
+    def is_float(self) -> bool:
+        return False
+
+    @property
+    def is_integer(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class FunctionType:
+    """Type of a function (used for function pointers)."""
+
+    return_type: "Type"
+    parameters: Tuple["Type", ...]
+    variadic: bool = False
+
+    @property
+    def is_float(self) -> bool:
+        return False
+
+    @property
+    def is_integer(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.parameters)
+        if self.variadic:
+            params = params + ", ..." if params else "..."
+        return f"{self.return_type}({params})"
+
+
+Type = Union[ScalarType, PointerType, ArrayType, FunctionType]
+
+INT = ScalarType("int")
+UNSIGNED = ScalarType("unsigned")
+FLOAT = ScalarType("float")
+VOID = ScalarType("void")
+
+
+def type_is_float(t: Optional[Type]) -> bool:
+    return isinstance(t, ScalarType) and t.is_float
+
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+@dataclass
+class Expr:
+    """Base class for expressions; ``ctype`` is filled in by the type checker."""
+
+    line: int = 0
+    ctype: Optional[Type] = None
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+    #: Resolved declaration (VarDecl, Parameter or FunctionDef); set by the
+    #: type checker.
+    decl: Optional[object] = None
+
+
+@dataclass
+class UnaryExpr(Expr):
+    """``op`` in ``- ! ~ * & ++pre --pre post++ post--``."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+    postfix: bool = False
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class AssignExpr(Expr):
+    """``target op= value`` where op is '' for plain assignment."""
+
+    op: str = ""
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: Optional[Expr] = None
+    arguments: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------- #
+# Statements
+# --------------------------------------------------------------------------- #
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    statements: List["Node"] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Optional[Expr] = None
+    then_branch: Optional[Stmt] = None
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    body: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional["Node"] = None          # expression statement or declaration
+    condition: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class GotoStmt(Stmt):
+    label: str = ""
+
+
+@dataclass
+class LabelStmt(Stmt):
+    label: str = ""
+    statement: Optional[Stmt] = None
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------- #
+# Declarations
+# --------------------------------------------------------------------------- #
+@dataclass
+class VarDecl(Stmt):
+    """A variable declaration (global or local)."""
+
+    name: str = ""
+    var_type: Optional[Type] = None
+    init: Optional[Expr] = None
+    is_global: bool = False
+    #: Filled by the code generator: True when the address of the variable is
+    #: taken somewhere (forces a stack slot instead of a register).
+    address_taken: bool = False
+
+
+@dataclass
+class Parameter:
+    name: str
+    param_type: Type
+    line: int = 0
+
+
+@dataclass
+class FunctionDef:
+    """A function definition (or a prototype when ``body`` is ``None``)."""
+
+    name: str
+    return_type: Type
+    parameters: List[Parameter] = field(default_factory=list)
+    variadic: bool = False
+    body: Optional[CompoundStmt] = None
+    line: int = 0
+
+    @property
+    def is_prototype(self) -> bool:
+        return self.body is None
+
+    def function_type(self) -> FunctionType:
+        return FunctionType(
+            return_type=self.return_type,
+            parameters=tuple(p.param_type for p in self.parameters),
+            variadic=self.variadic,
+        )
+
+
+Node = Union[Stmt, Expr, VarDecl, FunctionDef]
+
+
+@dataclass
+class CompilationUnit:
+    """A parsed source file: globals + functions, in declaration order."""
+
+    globals: List[VarDecl] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+    source_name: str = "<memory>"
+
+    def function(self, name: str) -> Optional[FunctionDef]:
+        for function in self.functions:
+            if function.name == name and not function.is_prototype:
+                return function
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None
+
+    def defined_functions(self) -> List[FunctionDef]:
+        return [f for f in self.functions if not f.is_prototype]
+
+
+# --------------------------------------------------------------------------- #
+# Generic traversal helpers (used by the guideline checker)
+# --------------------------------------------------------------------------- #
+#: Attributes that hold *references* to other nodes (resolved declarations,
+#: computed types) rather than syntactic children; traversals must not follow
+#: them or globals would appear "inside" every function that mentions them.
+_NON_CHILD_ATTRIBUTES = {"decl", "ctype"}
+
+
+def child_nodes(node: object) -> List[object]:
+    """Immediate syntactic AST children of ``node``."""
+    children: List[object] = []
+
+    def maybe_add(value: object) -> None:
+        if isinstance(value, (Expr, Stmt, VarDecl, FunctionDef)):
+            children.append(value)
+        elif isinstance(value, list):
+            for item in value:
+                maybe_add(item)
+
+    if not hasattr(node, "__dict__"):
+        return children
+    for name, attribute in vars(node).items():
+        if name in _NON_CHILD_ATTRIBUTES:
+            continue
+        maybe_add(attribute)
+    return children
+
+
+def walk(node: object):
+    """Depth-first pre-order traversal over all AST nodes under ``node``."""
+    yield node
+    for child in child_nodes(node):
+        yield from walk(child)

@@ -1,0 +1,186 @@
+"""Tokenizer for the mini-C language."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "int",
+    "unsigned",
+    "float",
+    "void",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "goto",
+    "sizeof",
+    "const",
+    "volatile",
+    "static",
+}
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    PUNCT = "punct"
+    STRING = "string"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: object = None
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_punct(self, *symbols: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in symbols
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}:{self.text!r}@{self.line}"
+
+
+#: Multi-character punctuation, longest first so the scanner is greedy.
+_PUNCTUATION = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
+]
+
+_FLOAT_RE = re.compile(r"\d+\.\d*([eE][-+]?\d+)?[fF]?|\d+[eE][-+]?\d+[fF]?|\d+\.\d*")
+_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+[uUlL]*")
+_INT_RE = re.compile(r"\d+[uUlL]*")
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+_STRING_RE = re.compile(r'"([^"\\]|\\.)*"')
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a mini-C source string; raises :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, column)
+
+    while index < length:
+        char = source[index]
+
+        # Whitespace
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+
+        # Comments
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+
+        # Preprocessor-style lines are ignored (the workloads use none, but
+        # realistic sources may carry #include / #define headers).
+        if char == "#" and (column == 1):
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+
+        # String literals (only used in comments/asserts of workloads).
+        match = _STRING_RE.match(source, index)
+        if match:
+            text = match.group(0)
+            tokens.append(Token(TokenKind.STRING, text, line, column, text[1:-1]))
+            index = match.end()
+            column += len(text)
+            continue
+
+        # Numbers: float before int so "1.5" is not split.
+        match = _FLOAT_RE.match(source, index)
+        if match and ("." in match.group(0) or "e" in match.group(0).lower()):
+            text = match.group(0)
+            tokens.append(
+                Token(TokenKind.FLOAT, text, line, column, float(text.rstrip("fF")))
+            )
+            index = match.end()
+            column += len(text)
+            continue
+        match = _HEX_RE.match(source, index)
+        if match:
+            text = match.group(0)
+            tokens.append(
+                Token(TokenKind.INT, text, line, column, int(text.rstrip("uUlL"), 16))
+            )
+            index = match.end()
+            column += len(text)
+            continue
+        match = _INT_RE.match(source, index)
+        if match:
+            text = match.group(0)
+            tokens.append(
+                Token(TokenKind.INT, text, line, column, int(text.rstrip("uUlL")))
+            )
+            index = match.end()
+            column += len(text)
+            continue
+
+        # Identifiers / keywords
+        match = _IDENT_RE.match(source, index)
+        if match:
+            text = match.group(0)
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, column))
+            index = match.end()
+            column += len(text)
+            continue
+
+        # Punctuation
+        for symbol in _PUNCTUATION:
+            if source.startswith(symbol, index):
+                tokens.append(Token(TokenKind.PUNCT, symbol, line, column))
+                index += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

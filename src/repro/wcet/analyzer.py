@@ -1,0 +1,734 @@
+"""The top-level static WCET analyzer — Figure 1 end to end.
+
+:class:`WCETAnalyzer` reproduces the phase structure of aiT-like analyzers the
+paper describes:
+
+1. **Decoding** — CFG reconstruction and call-graph construction; indirect
+   branches/calls need :class:`~repro.cfg.reconstruct.ControlFlowHints`
+   (supplied through the annotation set), otherwise the analysis stops — the
+   tier-one "function pointers" challenge.
+2. **Loop/value analysis** — abstract interpretation per function, automatic
+   loop bound detection; remaining loops must be bounded by annotations or the
+   analysis stops — the tier-one "loops and recursions" challenge.  Irreducible
+   loops can only be bounded by annotations.
+3. **Cache/pipeline analysis** — abstract instruction/data cache analysis and
+   the in-order pipeline model produce per-basic-block cycle bounds.
+4. **Path analysis** — IPET integer linear programming maximises (minimises)
+   total time subject to structural and annotation flow constraints, yielding
+   the WCET (BCET) bound.
+
+The analyzer is *mode aware* (:meth:`WCETAnalyzer.analyze` accepts an operating
+mode and/or an error scenario, Section 4.3), supports context-sensitive callee
+analysis (argument values at the call site seed the callee's value analysis)
+and handles annotated recursion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import (
+    AnnotationError,
+    CFGError,
+    UnboundedLoopError,
+)
+from repro.analysis.domains.interval import Interval
+from repro.analysis.domains.memstate import AbstractValue
+from repro.analysis.loopbounds import LoopBoundAnalysis, LoopBoundResult
+from repro.analysis.reachability import find_unreachable_code
+from repro.analysis.value import AccessInfo, ValueAnalysis, ValueAnalysisResult
+from repro.annotations.registry import AnnotationSet
+from repro.cfg.callgraph import CallGraph, build_callgraph
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import LoopForest, find_loops
+from repro.cfg.reconstruct import reconstruct_program
+from repro.hardware.cache_analysis import (
+    CacheClassification,
+    DataCacheAnalysis,
+    InstructionCacheAnalysis,
+)
+from repro.hardware.pipeline import PipelineModel
+from repro.hardware.processor import ProcessorConfig
+from repro.ir.instructions import ARGUMENT_REGISTERS, Opcode
+from repro.ir.program import Program
+from repro.wcet.blocktime import BlockTimeTable
+from repro.wcet.contexts import CallContext, ContextCache
+from repro.wcet.ipet import IPETBuilder, ResolvedFlowConstraint
+from repro.wcet.report import (
+    ChallengeReport,
+    FunctionReport,
+    LoopReport,
+    PhaseTiming,
+    WCETReport,
+)
+
+
+@dataclass
+class AnalysisOptions:
+    """Tuning knobs of the WCET analyzer."""
+
+    #: Re-analyse callees per call site with the argument values known there.
+    context_sensitive_calls: bool = True
+    #: Use the abstract instruction cache analysis (if the processor has one).
+    use_instruction_cache: bool = True
+    #: Use the abstract data cache analysis (if the processor has one).
+    use_data_cache: bool = True
+    #: Assume mutable globals still hold their initial values at task entry.
+    assume_initial_globals: bool = False
+    #: ILP backend: "auto", "scipy" or "simplex".
+    ilp_backend: str = "auto"
+    #: Raise immediately on unresolved indirect branches/calls (tier-one).
+    strict_indirect: bool = True
+    #: Also compute BCET bounds (cheap; disable for large sweeps).
+    compute_bcet: bool = True
+    #: Cap on distinct argument contexts analysed per callee.
+    max_contexts_per_function: int = 16
+
+
+class WCETAnalyzer:
+    """Static WCET analyzer for one program on one processor configuration."""
+
+    def __init__(
+        self,
+        program: Program,
+        processor: ProcessorConfig,
+        annotations: Optional[AnnotationSet] = None,
+        options: Optional[AnalysisOptions] = None,
+    ):
+        program.validate()
+        self.program = program
+        self.processor = processor
+        self.annotations = annotations or AnnotationSet()
+        self.options = options or AnalysisOptions()
+        self.pipeline = PipelineModel(processor)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def analyze(
+        self,
+        entry: Optional[str] = None,
+        mode: Optional[str] = None,
+        error_scenario: Optional[str] = None,
+    ) -> WCETReport:
+        """Analyse the task starting at ``entry`` (default: the program entry).
+
+        ``mode`` selects an operating mode (its facts are merged in), and
+        ``error_scenario`` applies a documented error-handling scenario.
+        """
+        entry = entry or self.program.entry
+        annotations = self.annotations.for_mode(mode)
+        if error_scenario is not None:
+            scenario = next(
+                (s for s in annotations.error_scenarios if s.name == error_scenario),
+                None,
+            )
+            if scenario is None:
+                raise AnnotationError(f"unknown error scenario {error_scenario!r}")
+            infeasible, constraints = scenario.to_flow_facts()
+            annotations.infeasible_paths.extend(infeasible)
+            annotations.flow_constraints.extend(constraints)
+
+        phases: List[PhaseTiming] = []
+        challenges = ChallengeReport()
+
+        # ----------------------------------------------------------------- #
+        # Phase 1: decoding (CFG reconstruction + call graph)
+        # ----------------------------------------------------------------- #
+        started = time.perf_counter()
+        cfgs, issues = reconstruct_program(
+            self.program,
+            hints=annotations.control_flow_hints,
+            strict=self.options.strict_indirect,
+        )
+        callgraph = build_callgraph(
+            self.program,
+            hints=annotations.control_flow_hints,
+            strict=self.options.strict_indirect,
+        )
+        for issue in issues:
+            challenges.add_tier_one(str(issue))
+        for caller, address in callgraph.unresolved_calls:
+            challenges.add_tier_one(
+                f"{caller}@{address:#x}: unresolved indirect call (function pointer)"
+            )
+        phases.append(
+            PhaseTiming(
+                "decoding",
+                time.perf_counter() - started,
+                f"{sum(len(c.blocks) for c in cfgs.values())} basic blocks",
+            )
+        )
+
+        reachable = callgraph.reachable_from(entry)
+        analysis_state = _RunState(
+            annotations=annotations,
+            cfgs=cfgs,
+            callgraph=callgraph,
+            challenges=challenges,
+            phase_seconds={},
+            reports={},
+            context_cache=ContextCache(),
+            recursive_functions=callgraph.recursive_functions(),
+        )
+
+        # ----------------------------------------------------------------- #
+        # Phases 2-4 per function, callees before callers.
+        # ----------------------------------------------------------------- #
+        for component in callgraph.strongly_connected_components():
+            members = [name for name in component if name in reachable]
+            if not members:
+                continue
+            is_recursive = len(component) > 1 or any(
+                name in callgraph.callees(name) for name in component
+            )
+            if is_recursive:
+                self._analyze_recursive_component(members, analysis_state)
+            else:
+                name = members[0]
+                report = self._analyze_function(
+                    name, CallContext.default(name), analysis_state
+                )
+                analysis_state.reports[name] = report
+
+        for phase_name in ("loop/value analysis", "cache analysis", "pipeline analysis", "path analysis"):
+            phases.append(
+                PhaseTiming(
+                    phase_name, analysis_state.phase_seconds.get(phase_name, 0.0)
+                )
+            )
+
+        entry_report = analysis_state.reports[entry]
+        report = WCETReport(
+            entry=entry,
+            processor=self.processor.name,
+            wcet_cycles=entry_report.wcet_cycles,
+            bcet_cycles=entry_report.bcet_cycles,
+            functions={
+                name: function_report
+                for name, function_report in analysis_state.reports.items()
+                if name in reachable
+            },
+            phases=phases,
+            challenges=challenges,
+            mode=mode,
+            error_scenario=error_scenario,
+            annotation_summary=annotations.summary(),
+        )
+        return report
+
+    def analyze_all_modes(self, entry: Optional[str] = None) -> Dict[Optional[str], WCETReport]:
+        """Analyse the mode-unaware case plus every declared operating mode."""
+        results: Dict[Optional[str], WCETReport] = {None: self.analyze(entry=entry)}
+        for mode_name in self.annotations.mode_names():
+            results[mode_name] = self.analyze(entry=entry, mode=mode_name)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Function-level analysis
+    # ------------------------------------------------------------------ #
+    def _analyze_function(
+        self,
+        name: str,
+        context: CallContext,
+        run: "_RunState",
+        recursive_component: Optional[Set[str]] = None,
+    ) -> FunctionReport:
+        cached = run.context_cache.get(context)
+        if cached is not None:
+            return cached
+
+        annotations = run.annotations
+        cfg = run.cfgs[name]
+        loops = find_loops(cfg)
+
+        # --- loop/value analysis ------------------------------------------ #
+        started = time.perf_counter()
+        initial_registers = self._initial_registers(name, context, annotations)
+        value_analysis = ValueAnalysis(
+            self.program,
+            cfg,
+            loops,
+            initial_registers=initial_registers,
+            assume_initial_globals=self.options.assume_initial_globals,
+        )
+        values = value_analysis.run()
+        bounds = LoopBoundAnalysis(cfg, loops, values).run()
+        loop_reports = self._apply_loop_annotations(name, cfg, loops, bounds, annotations, run)
+        run.phase_seconds["loop/value analysis"] = run.phase_seconds.get(
+            "loop/value analysis", 0.0
+        ) + (time.perf_counter() - started)
+
+        if bounds.failures:
+            details = "; ".join(
+                f"loop {header:#x}: {failure.reason} — {failure.message}"
+                for header, failure in sorted(bounds.failures.items())
+            )
+            run.challenges.add_tier_one(
+                f"{name}: unbounded loops remain after annotations ({details})"
+            )
+            raise UnboundedLoopError(
+                f"cannot compute a WCET bound for {name!r}: {details}. "
+                "Add 'loopbound' annotations for these loops."
+            )
+
+        accesses = self._restrict_accesses(name, values.accesses, annotations, run)
+
+        # --- cache analysis ------------------------------------------------ #
+        started = time.perf_counter()
+        icache_classes: Dict[int, CacheClassification] = {}
+        dcache_classes: Dict[int, CacheClassification] = {}
+        icache_summary: Dict[str, int] = {}
+        dcache_summary: Dict[str, int] = {}
+        if self.processor.icache is not None and self.options.use_instruction_cache:
+            icache_result = InstructionCacheAnalysis(cfg, self.processor.icache, loops).run()
+            icache_classes = icache_result.classifications
+            icache_summary = icache_result.summary()
+        if self.processor.dcache is not None and self.options.use_data_cache:
+            dcache_result = DataCacheAnalysis(
+                cfg, self.processor.dcache, accesses, self.processor.memory_map, loops
+            ).run()
+            dcache_classes = dcache_result.classifications
+            dcache_summary = dcache_result.summary()
+        run.phase_seconds["cache analysis"] = run.phase_seconds.get(
+            "cache analysis", 0.0
+        ) + (time.perf_counter() - started)
+
+        # --- pipeline analysis (per-block times + callee costs) ------------- #
+        started = time.perf_counter()
+        table = BlockTimeTable(function_name=name)
+        for block_id, block in cfg.blocks.items():
+            table.set_block(
+                self.pipeline.block_time_bounds(
+                    block, icache_classes, dcache_classes, accesses
+                )
+            )
+        self._add_callee_costs(
+            name, cfg, value_analysis, values, table, run, recursive_component
+        )
+        run.phase_seconds["pipeline analysis"] = run.phase_seconds.get(
+            "pipeline analysis", 0.0
+        ) + (time.perf_counter() - started)
+
+        # --- path analysis --------------------------------------------------#
+        started = time.perf_counter()
+        reachability = find_unreachable_code(cfg, values)
+        infeasible_blocks = set(reachability.all_unreachable())
+        infeasible_blocks |= self._resolve_infeasible(name, cfg, annotations)
+        infeasible_edges = set(values.infeasible_edges())
+        flow_constraints = self._resolve_flow_constraints(name, cfg, annotations)
+        loop_bound_map = {
+            header: bound.max_back_edges for header, bound in bounds.bounds.items()
+        }
+
+        ipet = IPETBuilder(cfg, loops)
+        wcet_result = ipet.solve(
+            table.wcet_weights(),
+            loop_bound_map,
+            infeasible_blocks=infeasible_blocks,
+            infeasible_edges=infeasible_edges,
+            flow_constraints=flow_constraints,
+            maximise=True,
+            backend=self.options.ilp_backend,
+        )
+        if self.options.compute_bcet:
+            bcet_result = ipet.solve(
+                table.bcet_weights(),
+                loop_bound_map,
+                infeasible_blocks=infeasible_blocks,
+                infeasible_edges=infeasible_edges,
+                flow_constraints=flow_constraints,
+                maximise=False,
+                backend=self.options.ilp_backend,
+            )
+            bcet_cycles = bcet_result.bound_cycles
+        else:
+            bcet_cycles = 0
+        run.phase_seconds["path analysis"] = run.phase_seconds.get(
+            "path analysis", 0.0
+        ) + (time.perf_counter() - started)
+
+        unknown_accesses = sum(1 for info in accesses.values() if info.unknown)
+        imprecise_accesses = sum(
+            1 for info in accesses.values() if not info.absolute.is_constant
+        )
+        if unknown_accesses:
+            run.challenges.add_tier_two(
+                f"{name}: {unknown_accesses} memory accesses with completely unknown "
+                "addresses (charged with the slowest memory module)"
+            )
+        not_classified = dcache_summary.get("NC", 0) + icache_summary.get("NC", 0)
+        if not_classified:
+            run.challenges.add_tier_two(
+                f"{name}: {not_classified} cache accesses could not be classified "
+                "(charged as misses)"
+            )
+
+        report = FunctionReport(
+            name=name,
+            wcet_cycles=wcet_result.bound_cycles,
+            bcet_cycles=bcet_cycles,
+            loop_reports=loop_reports,
+            block_times=dict(table.times),
+            block_counts=wcet_result.block_counts,
+            icache_summary=icache_summary,
+            dcache_summary=dcache_summary,
+            unreachable_blocks=reachability.all_unreachable(),
+            imprecise_accesses=imprecise_accesses,
+            unknown_accesses=unknown_accesses,
+            callee_wcet=dict(table.callee_wcet),
+            ilp_nodes=wcet_result.ilp_nodes,
+            context=str(context),
+        )
+        run.context_cache.put(context, report)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _analyze_recursive_component(self, members: List[str], run: "_RunState") -> None:
+        """Handle a recursion cycle (MISRA rule 16.2 territory).
+
+        Each member is analysed with recursive calls (calls to other members of
+        the cycle) charged zero cycles — the *body* cost.  The annotated
+        recursion depth ``D`` then scales the result:
+
+        * with at most one recursive call site per body the number of
+          activations is at most ``D``;
+        * with ``k > 1`` recursive call sites per body it is at most
+          ``(k^D - 1) / (k - 1)`` (a call tree of branching factor ``k``).
+
+        The resulting bound is conservative but sound under the annotated
+        depth; without an annotation the analysis is aborted, which is exactly
+        the tier-one situation the paper describes.
+        """
+        component = set(members)
+        depth_annotation = None
+        for name in members:
+            annotation = run.annotations.recursion_bound_for(name)
+            if annotation is not None:
+                if depth_annotation is None or annotation.max_depth > depth_annotation:
+                    depth_annotation = annotation.max_depth
+        if depth_annotation is None:
+            run.challenges.add_tier_one(
+                f"recursion cycle {sorted(component)} has no recursion-depth annotation"
+            )
+            raise CFGError(
+                f"functions {sorted(component)} are (mutually) recursive and no "
+                "'recursion' annotation bounds the depth; no WCET bound can be "
+                "computed (MISRA rule 16.2)"
+            )
+        run.challenges.add_tier_two(
+            f"recursion cycle {sorted(component)} bounded by annotated depth "
+            f"{depth_annotation}"
+        )
+
+        body_reports: Dict[str, FunctionReport] = {}
+        branching = 1
+        for name in members:
+            report = self._analyze_function(
+                name,
+                CallContext.default(name),
+                run,
+                recursive_component=component,
+            )
+            body_reports[name] = report
+            sites = 0
+            for site in run.callgraph.call_sites_in(name):
+                if site.callee in component:
+                    sites += 1
+            branching = max(branching, sites)
+
+        if branching <= 1:
+            activations = depth_annotation
+        else:
+            activations = (branching ** depth_annotation - 1) // (branching - 1)
+
+        total_body_wcet = sum(r.wcet_cycles for r in body_reports.values())
+        total_body_bcet = min(r.bcet_cycles for r in body_reports.values())
+        for name, body in body_reports.items():
+            scaled = FunctionReport(
+                name=name,
+                wcet_cycles=activations * total_body_wcet,
+                bcet_cycles=total_body_bcet,
+                loop_reports=body.loop_reports,
+                block_times=body.block_times,
+                block_counts=body.block_counts,
+                icache_summary=body.icache_summary,
+                dcache_summary=body.dcache_summary,
+                unreachable_blocks=body.unreachable_blocks,
+                imprecise_accesses=body.imprecise_accesses,
+                unknown_accesses=body.unknown_accesses,
+                callee_wcet=body.callee_wcet,
+                ilp_nodes=body.ilp_nodes,
+                context=f"{name}[recursion depth {depth_annotation}]",
+            )
+            run.reports[name] = scaled
+            # Later callers must see the scaled cost.
+            run.context_cache.put(CallContext.default(name), scaled)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _initial_registers(
+        self, name: str, context: CallContext, annotations: AnnotationSet
+    ) -> Dict[str, AbstractValue]:
+        initial: Dict[str, AbstractValue] = {}
+        for annotation in annotations.argument_ranges_for(name):
+            initial[annotation.register] = AbstractValue(
+                Interval(annotation.low, annotation.high)
+            )
+        # Context argument values (call-site specific) override annotations.
+        for register, interval in context.argument_intervals().items():
+            initial[register] = AbstractValue(interval)
+        return initial
+
+    def _apply_loop_annotations(
+        self,
+        name: str,
+        cfg: ControlFlowGraph,
+        loops: LoopForest,
+        bounds: LoopBoundResult,
+        annotations: AnnotationSet,
+        run: "_RunState",
+    ) -> List[LoopReport]:
+        for annotation in annotations.loop_bounds_for(name):
+            block_id = _resolve_location(cfg, annotation.location)
+            if block_id is None:
+                raise AnnotationError(
+                    f"loop bound annotation for {name}/{annotation.location!r} does "
+                    "not match any basic block"
+                )
+            loop = loops.loop_with_header(block_id) or loops.innermost_loop_of(block_id)
+            if loop is None:
+                raise AnnotationError(
+                    f"loop bound annotation for {name}/{annotation.location!r}: the "
+                    "location is not inside any loop"
+                )
+            existing = bounds.bounds.get(loop.header)
+            if existing is None or annotation.max_iterations < existing.max_back_edges:
+                bounds.add_annotation(
+                    loop.header, annotation.max_iterations, detail=annotation.comment
+                )
+
+        reports: List[LoopReport] = []
+        for loop in loops.loops:
+            bound = bounds.bounds.get(loop.header)
+            failure = bounds.failures.get(loop.header)
+            if bound is not None:
+                if bound.source == "annotation":
+                    run.challenges.add_tier_two(
+                        f"{name}: loop at {loop.header:#x} bounded only by annotation "
+                        f"(<= {bound.max_back_edges} iterations)"
+                    )
+                reports.append(
+                    LoopReport(
+                        function=name,
+                        header=loop.header,
+                        bound=bound.max_back_edges,
+                        source=bound.source,
+                        irreducible=loop.irreducible,
+                        detail=bound.detail,
+                    )
+                )
+            else:
+                reports.append(
+                    LoopReport(
+                        function=name,
+                        header=loop.header,
+                        bound=None,
+                        source="unbounded",
+                        irreducible=loop.irreducible,
+                        failure_reason=failure.reason if failure else "",
+                        detail=failure.message if failure else "",
+                    )
+                )
+        return reports
+
+    def _restrict_accesses(
+        self,
+        name: str,
+        accesses: Dict[int, AccessInfo],
+        annotations: AnnotationSet,
+        run: "_RunState",
+    ) -> Dict[int, AccessInfo]:
+        annotation = annotations.memory_regions_for(name)
+        if annotation is None:
+            return accesses
+        allowed = Interval.bottom()
+        for region in annotation.regions:
+            module = self.processor.memory_map.module_named(region)
+            allowed = allowed.join(Interval(module.base, module.end - 1))
+        restricted: Dict[int, AccessInfo] = {}
+        changed = 0
+        for address, info in accesses.items():
+            if info.unknown or info.absolute.is_top:
+                restricted[address] = AccessInfo(
+                    instruction_address=info.instruction_address,
+                    is_load=info.is_load,
+                    size=info.size,
+                    bases=info.bases,
+                    offset=info.offset,
+                    absolute=allowed,
+                    unknown=False,
+                )
+                changed += 1
+            else:
+                restricted[address] = info
+        if changed:
+            run.challenges.add_tier_two(
+                f"{name}: {changed} unknown memory accesses restricted to regions "
+                f"{list(annotation.regions)} by annotation"
+            )
+        return restricted
+
+    def _add_callee_costs(
+        self,
+        name: str,
+        cfg: ControlFlowGraph,
+        value_analysis: ValueAnalysis,
+        values: ValueAnalysisResult,
+        table: BlockTimeTable,
+        run: "_RunState",
+        recursive_component: Optional[Set[str]],
+    ) -> None:
+        hints = run.annotations.control_flow_hints
+        for block_id, block in cfg.blocks.items():
+            for instr in block.call_sites():
+                if instr.opcode is Opcode.CALL:
+                    targets = [instr.call_target()]
+                else:
+                    targets = list(hints.call_targets(instr.address) or ())
+                    if not targets:
+                        # Unresolved indirect call in permissive mode: charge
+                        # the most expensive known function as a fallback.
+                        targets = []
+                worst = 0
+                best = 0 if targets else 0
+                best_candidates: List[int] = []
+                for target in targets:
+                    if recursive_component and target in recursive_component:
+                        # Recursive calls are charged by the component scaling.
+                        continue
+                    callee_report = self._callee_report(
+                        target, instr.address, block_id, value_analysis, values, run
+                    )
+                    worst = max(worst, callee_report.wcet_cycles)
+                    best_candidates.append(callee_report.bcet_cycles)
+                best = min(best_candidates) if best_candidates else 0
+                if worst or best:
+                    table.add_callee_cost(block_id, worst, best)
+
+    def _callee_report(
+        self,
+        callee: str,
+        call_address: int,
+        block_id: int,
+        value_analysis: ValueAnalysis,
+        values: ValueAnalysisResult,
+        run: "_RunState",
+    ) -> FunctionReport:
+        context = CallContext.default(callee)
+        # Recursive functions are always charged with their (depth-scaled)
+        # default-context bound; analysing them per call-site argument context
+        # would sidestep the recursion-depth annotation.
+        if run.recursive_functions and callee in run.recursive_functions:
+            report = run.context_cache.get(context)
+            if report is not None:
+                if callee not in run.reports:
+                    run.reports[callee] = report
+                return report
+        if self.options.context_sensitive_calls:
+            state = value_analysis.state_before(values, block_id, call_address)
+            if state.reachable:
+                arguments: Dict[str, Interval] = {}
+                callee_function = self.program.function(callee)
+                used = ARGUMENT_REGISTERS[: max(callee_function.num_params, 0)]
+                for register in used:
+                    value = state.get(register)
+                    if not value.is_float and not value.interval.is_top:
+                        arguments[register] = value.interval
+                if arguments:
+                    candidate = CallContext.from_arguments(callee, arguments)
+                    existing = run.context_cache.contexts_for(callee)
+                    if (
+                        candidate in existing
+                        or len(existing) < self.options.max_contexts_per_function
+                    ):
+                        context = candidate
+        report = run.context_cache.get(context)
+        if report is None:
+            report = self._analyze_function(callee, context, run)
+        if context.is_default and callee not in run.reports:
+            run.reports[callee] = report
+        elif callee not in run.reports:
+            # Make sure the function shows up in the overall report even if it
+            # was only analysed context-sensitively.
+            run.reports[callee] = report
+        return report
+
+    def _resolve_infeasible(
+        self, name: str, cfg: ControlFlowGraph, annotations: AnnotationSet
+    ) -> Set[int]:
+        result: Set[int] = set()
+        for annotation in annotations.infeasible_for(name):
+            block_id = _resolve_location(cfg, annotation.location)
+            if block_id is None:
+                raise AnnotationError(
+                    f"infeasible-path annotation for {name}/{annotation.location!r} "
+                    "does not match any basic block"
+                )
+            result.add(block_id)
+        return result
+
+    def _resolve_flow_constraints(
+        self, name: str, cfg: ControlFlowGraph, annotations: AnnotationSet
+    ) -> List[ResolvedFlowConstraint]:
+        resolved: List[ResolvedFlowConstraint] = []
+        for constraint in annotations.flow_constraints_for(name):
+            terms: List[Tuple[int, int]] = []
+            for location, coefficient in constraint.terms:
+                block_id = _resolve_location(cfg, location)
+                if block_id is None:
+                    raise AnnotationError(
+                        f"flow constraint {constraint.name or constraint.terms!r} for "
+                        f"{name}: location {location!r} does not match any block"
+                    )
+                terms.append((block_id, coefficient))
+            resolved.append(
+                ResolvedFlowConstraint(
+                    terms=tuple(terms),
+                    relation=constraint.relation,
+                    bound=constraint.bound,
+                    name=constraint.name,
+                )
+            )
+        return resolved
+
+
+@dataclass
+class _RunState:
+    """Mutable state shared by one :meth:`WCETAnalyzer.analyze` run."""
+
+    annotations: AnnotationSet
+    cfgs: Dict[str, ControlFlowGraph]
+    callgraph: CallGraph
+    challenges: ChallengeReport
+    phase_seconds: Dict[str, float]
+    reports: Dict[str, FunctionReport]
+    context_cache: ContextCache
+    recursive_functions: Set[str] = None
+
+
+def _resolve_location(cfg: ControlFlowGraph, location) -> Optional[int]:
+    """Resolve a label or address to the basic block containing it."""
+    if isinstance(location, int):
+        try:
+            return cfg.block_containing(location).id
+        except CFGError:
+            return None
+    for block_id, block in cfg.blocks.items():
+        for instr in block.instructions:
+            if instr.label == location:
+                return block_id
+    return None

@@ -1,0 +1,200 @@
+"""A small, dependency-free two-phase simplex solver.
+
+The IPET path analysis produces linear programs with a few dozen variables; we
+solve them either with this solver or with scipy's ``linprog`` (HiGHS) backend
+(:mod:`repro.wcet.ilp` chooses).  Having our own implementation keeps the
+library usable without scipy and gives the test-suite a second, independent
+solver to cross-check against.
+
+The solver handles problems of the form::
+
+    maximise    c·x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                x >= 0
+
+using the standard two-phase primal simplex method with Bland's pivoting rule
+(which guarantees termination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import InfeasibleILPError, PathAnalysisError, UnboundedILPError
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class SimplexResult:
+    """Solution of a linear program."""
+
+    status: str               # "optimal", "infeasible", "unbounded"
+    objective: float = 0.0
+    values: Optional[List[float]] = None
+
+
+def _pivot(tableau: List[List[float]], basis: List[int], row: int, col: int) -> None:
+    pivot_value = tableau[row][col]
+    tableau[row] = [value / pivot_value for value in tableau[row]]
+    for r, current in enumerate(tableau):
+        if r != row and abs(current[col]) > _EPSILON:
+            factor = current[col]
+            tableau[r] = [
+                current_value - factor * pivot_value_row
+                for current_value, pivot_value_row in zip(current, tableau[row])
+            ]
+    basis[row] = col
+
+
+def _run_simplex(
+    tableau: List[List[float]], basis: List[int], num_columns: int
+) -> str:
+    """Run primal simplex on a tableau whose last row is the objective row.
+
+    Returns "optimal" or "unbounded".  Uses Bland's rule to avoid cycling.
+    """
+    max_pivots = 20_000
+    for _ in range(max_pivots):
+        objective_row = tableau[-1]
+        # Bland's rule: choose the lowest-index column with a negative reduced cost.
+        pivot_col = -1
+        for col in range(num_columns):
+            if objective_row[col] < -_EPSILON:
+                pivot_col = col
+                break
+        if pivot_col < 0:
+            return "optimal"
+        # Ratio test (again lowest index on ties — Bland).
+        pivot_row = -1
+        best_ratio = None
+        for row in range(len(tableau) - 1):
+            coefficient = tableau[row][pivot_col]
+            if coefficient > _EPSILON:
+                ratio = tableau[row][-1] / coefficient
+                if best_ratio is None or ratio < best_ratio - _EPSILON or (
+                    abs(ratio - (best_ratio or 0.0)) <= _EPSILON
+                    and basis[row] < basis[pivot_row]
+                ):
+                    best_ratio = ratio
+                    pivot_row = row
+        if pivot_row < 0:
+            return "unbounded"
+        _pivot(tableau, basis, pivot_row, pivot_col)
+    raise PathAnalysisError("simplex did not terminate (pivot limit reached)")
+
+
+def solve_lp(
+    objective: Sequence[float],
+    a_ub: Sequence[Sequence[float]],
+    b_ub: Sequence[float],
+    a_eq: Sequence[Sequence[float]],
+    b_eq: Sequence[float],
+    maximise: bool = True,
+) -> SimplexResult:
+    """Solve the LP; see module docstring for the problem form."""
+    num_vars = len(objective)
+    sign = 1.0 if maximise else -1.0
+
+    rows: List[Tuple[List[float], float, str]] = []
+    for coefficients, bound in zip(a_ub, b_ub):
+        rows.append((list(coefficients), float(bound), "<="))
+    for coefficients, bound in zip(a_eq, b_eq):
+        rows.append((list(coefficients), float(bound), "=="))
+
+    # Normalise to non-negative right-hand sides.
+    normalised: List[Tuple[List[float], float, str]] = []
+    for coefficients, bound, kind in rows:
+        if bound < 0:
+            coefficients = [-c for c in coefficients]
+            bound = -bound
+            kind = {"<=": ">=", ">=": "<=", "==": "=="}[kind]
+        normalised.append((coefficients, bound, kind))
+
+    num_slack = sum(1 for _, _, kind in normalised if kind in ("<=", ">="))
+    num_artificial = sum(1 for _, _, kind in normalised if kind in (">=", "=="))
+    total_columns = num_vars + num_slack + num_artificial
+
+    tableau: List[List[float]] = []
+    basis: List[int] = []
+    slack_index = num_vars
+    artificial_index = num_vars + num_slack
+    artificial_columns: List[int] = []
+
+    for coefficients, bound, kind in normalised:
+        row = [0.0] * (total_columns + 1)
+        for index, coefficient in enumerate(coefficients):
+            row[index] = float(coefficient)
+        row[-1] = bound
+        if kind == "<=":
+            row[slack_index] = 1.0
+            basis.append(slack_index)
+            slack_index += 1
+        elif kind == ">=":
+            row[slack_index] = -1.0
+            slack_index += 1
+            row[artificial_index] = 1.0
+            basis.append(artificial_index)
+            artificial_columns.append(artificial_index)
+            artificial_index += 1
+        else:  # ==
+            row[artificial_index] = 1.0
+            basis.append(artificial_index)
+            artificial_columns.append(artificial_index)
+            artificial_index += 1
+        tableau.append(row)
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: minimise the sum of artificial variables.
+    # ------------------------------------------------------------------ #
+    if artificial_columns:
+        phase1 = [0.0] * (total_columns + 1)
+        for column in artificial_columns:
+            phase1[column] = 1.0
+        # Express the phase-1 objective in terms of non-basic variables.
+        for row, basic_column in zip(tableau, basis):
+            if basic_column in artificial_columns:
+                phase1 = [p - r for p, r in zip(phase1, row)]
+        tableau.append(phase1)
+        status = _run_simplex(tableau, basis, total_columns)
+        if status == "unbounded":
+            raise PathAnalysisError("phase-1 simplex reported an unbounded problem")
+        phase1_value = -tableau[-1][-1]
+        tableau.pop()
+        if phase1_value > 1e-6:
+            return SimplexResult(status="infeasible")
+        # Drive any artificial variable still in the basis out of it.
+        for row_index, basic_column in enumerate(list(basis)):
+            if basic_column in artificial_columns:
+                for column in range(num_vars + num_slack):
+                    if abs(tableau[row_index][column]) > _EPSILON:
+                        _pivot(tableau, basis, row_index, column)
+                        break
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: optimise the real objective (artificials pinned to zero).
+    # ------------------------------------------------------------------ #
+    objective_row = [0.0] * (total_columns + 1)
+    for index in range(num_vars):
+        objective_row[index] = -sign * float(objective[index])
+    for column in artificial_columns:
+        objective_row[column] = 1e9  # forbid re-entering the basis
+    # Express in terms of the current basis.
+    for row, basic_column in zip(tableau, basis):
+        coefficient = objective_row[basic_column]
+        if abs(coefficient) > _EPSILON:
+            objective_row = [o - coefficient * r for o, r in zip(objective_row, row)]
+    tableau.append(objective_row)
+
+    status = _run_simplex(tableau, basis, num_vars + num_slack)
+    if status == "unbounded":
+        return SimplexResult(status="unbounded")
+
+    values = [0.0] * num_vars
+    for row_index, basic_column in enumerate(basis):
+        if basic_column < num_vars:
+            values[basic_column] = tableau[row_index][-1]
+    objective_value = sum(c * v for c, v in zip(objective, values))
+    return SimplexResult(status="optimal", objective=objective_value, values=values)

@@ -1,0 +1,126 @@
+"""Function-shape variants for MISRA rules 16.1 (varargs) and 16.2 (recursion).
+
+* Rule 16.1: a variadic-style "sum of n values" whose processing loop depends
+  on the caller-supplied count, vs. a fixed-arity version over a fixed-size
+  array.  (Mini-C compiles the variadic declaration with its named parameters;
+  the point of the experiment is the data-dependent argument-processing loop,
+  which is faithfully present.)
+* Rule 16.2: recursive vs. iterative computation of the same result.  The
+  recursive variant can only be analysed with a recursion-depth annotation,
+  and its bound scales with the annotated depth.
+"""
+
+from __future__ import annotations
+
+from repro.annotations import AnnotationSet
+from repro.ir.program import Program
+from repro.minic.codegen import compile_source
+
+#: Number of elements processed by the fixed-arity variants.
+FIXED_COUNT = 8
+#: Maximum recursion depth documented for the recursive variant.
+RECURSION_DEPTH = 8
+
+# --------------------------------------------------------------------------- #
+# Rule 16.1
+# --------------------------------------------------------------------------- #
+VARIADIC_SOURCE = f"""
+int argument_area[{FIXED_COUNT}];
+
+/* sum_values(count, ...) walks the variable argument area: the loop trip
+   count depends on what every caller passes. */
+int sum_values(int count, ...) {{
+    int i;
+    int total = 0;
+    for (i = 0; i < count; i++) {{
+        total = total + argument_area[i];
+    }}
+    return total;
+}}
+
+int main(void) {{
+    return sum_values({FIXED_COUNT});
+}}
+"""
+
+FIXED_ARITY_SOURCE = f"""
+int argument_area[{FIXED_COUNT}];
+
+int sum_values(void) {{
+    int i;
+    int total = 0;
+    for (i = 0; i < {FIXED_COUNT}; i++) {{
+        total = total + argument_area[i];
+    }}
+    return total;
+}}
+
+int main(void) {{
+    return sum_values();
+}}
+"""
+
+# --------------------------------------------------------------------------- #
+# Rule 16.2
+# --------------------------------------------------------------------------- #
+RECURSIVE_SOURCE = f"""
+int weights[{FIXED_COUNT}];
+
+int weighted_sum(int index) {{
+    if (index >= {FIXED_COUNT}) {{
+        return 0;
+    }}
+    return weights[index] + weighted_sum(index + 1);
+}}
+
+int main(void) {{
+    return weighted_sum(0);
+}}
+"""
+
+ITERATIVE_SOURCE = f"""
+int weights[{FIXED_COUNT}];
+
+int weighted_sum(void) {{
+    int i;
+    int total = 0;
+    for (i = 0; i < {FIXED_COUNT}; i++) {{
+        total = total + weights[i];
+    }}
+    return total;
+}}
+
+int main(void) {{
+    return weighted_sum();
+}}
+"""
+
+
+def variadic_program() -> Program:
+    return compile_source(VARIADIC_SOURCE)
+
+
+def fixed_arity_program() -> Program:
+    return compile_source(FIXED_ARITY_SOURCE)
+
+
+def recursive_program() -> Program:
+    return compile_source(RECURSIVE_SOURCE)
+
+
+def iterative_program() -> Program:
+    return compile_source(ITERATIVE_SOURCE)
+
+
+def variadic_annotations() -> AnnotationSet:
+    """The argument-count range a designer would document for rule 16.1."""
+    annotation_set = AnnotationSet()
+    annotation_set.add_argument_range("sum_values", "r3", 0, FIXED_COUNT)
+    return annotation_set
+
+
+def recursion_annotations(depth: int = RECURSION_DEPTH + 1) -> AnnotationSet:
+    """The recursion-depth bound a designer would document for rule 16.2."""
+    annotation_set = AnnotationSet()
+    annotation_set.add_recursion_bound("weighted_sum", depth)
+    return annotation_set

@@ -1,0 +1,145 @@
+"""Tests for the MISRA-C predictability checker and the assessment glue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotations import AnnotationSet
+from repro.guidelines import (
+    ChallengeTier,
+    GuidelineChecker,
+    all_rules,
+    assess_predictability,
+)
+from repro.workloads import loops_suite, pointer_suite, functions_suite
+
+
+class TestIndividualRules:
+    def check(self, source: str):
+        return GuidelineChecker().check_source(source)
+
+    def test_rule_13_4_float_loop(self):
+        report = self.check(loops_suite.FLOAT_LOOP_SOURCE)
+        assert report.count("13.4") == 1
+        assert report.findings_for("13.4")[0].challenge is ChallengeTier.TIER_ONE
+
+    def test_rule_13_4_clean_loop(self):
+        assert self.check(loops_suite.INT_LOOP_SOURCE).count("13.4") == 0
+
+    def test_rule_13_6_modified_counter(self):
+        report = self.check(loops_suite.MODIFIED_COUNTER_SOURCE)
+        assert report.count("13.6") == 1
+        assert "i" in report.findings_for("13.6")[0].message
+
+    def test_rule_13_6_clean(self):
+        assert self.check(loops_suite.CLEAN_COUNTER_SOURCE).count("13.6") == 0
+
+    def test_rule_14_1_dead_code_after_return(self):
+        source = "int main(void) { return 1; int dead = 2; return dead; }"
+        assert self.check(source).count("14.1") >= 1
+
+    def test_rule_14_1_constant_false_condition(self):
+        source = "int main(void) { if (0) { return 9; } return 1; }"
+        assert self.check(source).count("14.1") >= 1
+
+    def test_rule_14_4_any_goto_is_reported(self):
+        report = self.check(loops_suite.GOTO_IRREDUCIBLE_SOURCE)
+        assert report.count("14.4") >= 1
+        assert all(f.challenge is ChallengeTier.TIER_ONE for f in report.findings_for("14.4"))
+
+    def test_rule_14_4_goto_into_structured_loop_flagged_as_irreducible(self):
+        source = (
+            "int total;\n"
+            "int main(void) {\n"
+            "    int i = 0;\n"
+            "    goto inside;\n"
+            "    while (i < 10) {\n"
+            "inside:\n"
+            "        total += i;\n"
+            "        i++;\n"
+            "    }\n"
+            "    return total;\n"
+            "}\n"
+        )
+        report = self.check(source)
+        assert any("irreducible" in f.message for f in report.findings_for("14.4"))
+
+    def test_rule_14_5_continue_is_style_only(self):
+        report = self.check(loops_suite.CONTINUE_SOURCE)
+        findings = report.findings_for("14.5")
+        assert findings and all(f.challenge is ChallengeTier.NONE for f in findings)
+
+    def test_rule_16_1_variadic(self):
+        assert self.check(functions_suite.VARIADIC_SOURCE).count("16.1") == 1
+        assert self.check(functions_suite.FIXED_ARITY_SOURCE).count("16.1") == 0
+
+    def test_rule_16_2_direct_recursion(self):
+        assert self.check(functions_suite.RECURSIVE_SOURCE).count("16.2") == 1
+
+    def test_rule_16_2_mutual_recursion(self):
+        source = (
+            "int odd(int n);\n"
+            "int even(int n) { if (n == 0) return 1; return odd(n - 1); }\n"
+            "int odd(int n) { if (n == 0) return 0; return even(n - 1); }\n"
+            "int main(void) { return even(4); }\n"
+        )
+        report = self.check(source)
+        assert {f.function for f in report.findings_for("16.2")} == {"even", "odd"}
+
+    def test_rule_20_4_malloc(self):
+        assert self.check(pointer_suite.HEAP_BUFFER_SOURCE).count("20.4") == 1
+        assert self.check(pointer_suite.STATIC_BUFFER_SOURCE).count("20.4") == 0
+
+    def test_rule_20_7_setjmp_longjmp(self):
+        assert self.check(pointer_suite.LONGJMP_SOURCE).count("20.7") == 2
+
+    def test_all_nine_rules_registered(self):
+        assert [rule.info.rule_id for rule in all_rules()] == [
+            "13.4", "13.6", "14.1", "14.4", "14.5", "16.1", "16.2", "20.4", "20.7",
+        ]
+
+    def test_clean_program_has_no_findings(self):
+        report = self.check(loops_suite.INT_LOOP_SOURCE)
+        assert report.is_clean
+
+
+class TestReportsAndAssessment:
+    def test_report_tier_partition(self):
+        report = GuidelineChecker().check_source(loops_suite.GOTO_IRREDUCIBLE_SOURCE)
+        assert len(report.tier_one_findings()) + len(report.tier_two_findings()) <= len(
+            report.findings
+        )
+
+    def test_report_text_rendering(self):
+        report = GuidelineChecker().check_source(loops_suite.FLOAT_LOOP_SOURCE)
+        text = report.format_text()
+        assert "MISRA" in text and "13.4" in text
+
+    def test_summary_counts(self):
+        report = GuidelineChecker().check_source(loops_suite.MODIFIED_COUNTER_SOURCE)
+        assert report.summary()["13.6"] == 1
+
+    def test_selected_rules_only(self):
+        checker = GuidelineChecker(rules=[all_rules()[0]])
+        report = checker.check_source(loops_suite.MODIFIED_COUNTER_SOURCE)
+        assert report.rules_checked == ["13.4"]
+        assert report.count("13.6") == 0
+
+    def test_assessment_of_clean_source_is_analyzable(self):
+        assessment = assess_predictability(loops_suite.INT_LOOP_SOURCE)
+        assert assessment.analyzable_without_annotations
+        assert assessment.wcet_report is not None
+        assert assessment.predictability_score > 0.8
+
+    def test_assessment_of_violating_source_needs_annotations(self):
+        assessment = assess_predictability(
+            loops_suite.FLOAT_LOOP_SOURCE,
+            annotations=loops_suite.manual_annotations("13.4"),
+        )
+        assert not assessment.analyzable_without_annotations
+        assert assessment.wcet_report is not None  # rescued by the annotations
+        assert assessment.predictability_score < 0.6
+
+    def test_assessment_text_render(self):
+        assessment = assess_predictability(loops_suite.INT_LOOP_SOURCE)
+        assert "predictability score" in assessment.format_text()

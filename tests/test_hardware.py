@@ -1,0 +1,250 @@
+"""Tests for the memory map, caches (concrete + abstract), pipeline timing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ValueAnalysis
+from repro.analysis.domains.interval import Interval
+from repro.cfg import find_loops, reconstruct_cfg
+from repro.errors import TimingAnalysisError
+from repro.hardware import (
+    CacheClassification,
+    CacheConfig,
+    DataCacheAnalysis,
+    InstructionCacheAnalysis,
+    LRUCacheSimulator,
+    MemoryMap,
+    MemoryModule,
+    MustMayCacheState,
+    PipelineModel,
+    TraceTimer,
+    hcs12x_like,
+    leon2_like,
+    mpc5554_like,
+    simple_scalar,
+)
+from repro.hardware.memory import default_memory_map
+from repro.ir import Interpreter, parse_assembly
+from repro.ir.program import CODE_BASE, DATA_BASE, DEVICE_BASE
+
+
+class TestMemoryMap:
+    def test_default_map_has_expected_regions(self):
+        names = {module.name for module in default_memory_map()}
+        assert {"flash", "ram", "stack", "heap", "device"} <= names
+
+    def test_module_lookup_by_address(self):
+        memory_map = default_memory_map()
+        assert memory_map.module_for(CODE_BASE).name == "flash"
+        assert memory_map.module_for(DATA_BASE).name == "ram"
+        assert memory_map.module_for(DEVICE_BASE).name == "device"
+
+    def test_unknown_interval_hits_every_module(self):
+        memory_map = default_memory_map()
+        assert len(memory_map.modules_for_interval(Interval.top())) == len(
+            memory_map.modules
+        )
+
+    def test_worst_case_latency_of_unknown_access_is_slowest_module(self):
+        memory_map = default_memory_map(device_read=44)
+        best, worst, cached = memory_map.latency_bounds(Interval.top(), is_load=True)
+        assert worst == 44
+
+    def test_precise_ram_access_is_cheap(self):
+        memory_map = default_memory_map(ram_read=2, device_read=44)
+        best, worst, cached = memory_map.latency_bounds(
+            Interval.const(DATA_BASE + 16), is_load=True
+        )
+        assert worst == 2 and cached
+
+    def test_device_region_is_uncached(self):
+        memory_map = default_memory_map()
+        _, _, cached = memory_map.latency_bounds(Interval.const(DEVICE_BASE), True)
+        assert not cached
+
+    def test_overlapping_modules_rejected(self):
+        with pytest.raises(TimingAnalysisError):
+            MemoryMap(
+                [
+                    MemoryModule("a", 0, 100, 1, 1),
+                    MemoryModule("b", 50, 100, 1, 1),
+                ]
+            )
+
+    def test_module_named_lookup(self):
+        memory_map = default_memory_map()
+        assert memory_map.module_named("ram").name == "ram"
+        with pytest.raises(TimingAnalysisError):
+            memory_map.module_named("missing")
+
+
+class TestConcreteCache:
+    def test_repeated_access_hits(self):
+        cache = LRUCacheSimulator(CacheConfig("d", 4, 2, 16))
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        config = CacheConfig("d", 1, 2, 16)   # one set, two ways
+        cache = LRUCacheSimulator(config)
+        cache.access(0x000)
+        cache.access(0x010)
+        cache.access(0x020)    # evicts 0x000 (least recently used)
+        assert not cache.contains(0x000)
+        assert cache.contains(0x010) and cache.contains(0x020)
+
+    def test_access_touching_two_lines(self):
+        config = CacheConfig("d", 4, 2, 16)
+        cache = LRUCacheSimulator(config)
+        assert config.lines_touched(0x1C, 8) == [1, 2]
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(TimingAnalysisError):
+            CacheConfig("bad", 3, 2, 16)
+
+    def test_age_query(self):
+        cache = LRUCacheSimulator(CacheConfig("d", 1, 4, 16))
+        cache.access(0x00)
+        cache.access(0x10)
+        assert cache.age_of(0x10) == 0 and cache.age_of(0x00) == 1
+        assert cache.age_of(0x40) is None
+
+    @given(words=st.lists(st.integers(0, 2**10), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_must_cache_is_sound_wrt_concrete_cache(self, words):
+        """A line in the abstract must cache is always in the concrete cache.
+
+        Word-aligned accesses (as produced by the IR) never straddle a cache
+        line, so one abstract line access corresponds to one concrete access.
+        """
+        config = CacheConfig("d", 4, 2, 16)
+        concrete = LRUCacheSimulator(config)
+        abstract = MustMayCacheState(config)
+        for word in words:
+            address = word * 4
+            line = config.line_of(address)
+            if line in abstract.must:
+                assert concrete.contains(address)
+            concrete.access(address, 4)
+            abstract.access_line(line)
+
+    def test_must_may_classification(self):
+        config = CacheConfig("d", 2, 2, 16)
+        state = MustMayCacheState(config)
+        assert state.classify(5) is CacheClassification.ALWAYS_MISS
+        state.access_line(5)
+        assert state.classify(5) is CacheClassification.ALWAYS_HIT
+
+    def test_join_drops_unshared_must_lines(self):
+        config = CacheConfig("d", 2, 2, 16)
+        a = MustMayCacheState(config)
+        b = MustMayCacheState(config)
+        a.access_line(1)
+        b.access_line(2)
+        joined = a.join(b)
+        assert not joined.must
+        assert set(joined.may) == {1, 2}
+
+    def test_unknown_access_clears_must_cache(self):
+        config = CacheConfig("d", 2, 2, 16)
+        state = MustMayCacheState(config)
+        state.access_line(3)
+        state.access_imprecise(None)
+        assert not state.must
+
+
+ICACHE_LOOP = """
+.data buf 64
+.func main
+    mov r4, 0
+    la r6, buf
+loop:
+    load r7, [r6 + 4]
+    add r4, r4, 1
+    slt r5, r4, 10
+    bt r5, loop
+    halt
+"""
+
+
+class TestCacheAnalyses:
+    def _prepare(self):
+        program = parse_assembly(ICACHE_LOOP)
+        cfg, _ = reconstruct_cfg(program, "main")
+        loops = find_loops(cfg)
+        values = ValueAnalysis(program, cfg, loops).run()
+        return program, cfg, loops, values
+
+    def test_instruction_cache_classifies_loop_body_as_hits(self):
+        program, cfg, loops, values = self._prepare()
+        processor = leon2_like()
+        result = InstructionCacheAnalysis(cfg, processor.icache, loops).run()
+        summary = result.summary()
+        assert summary["AH"] > 0
+        assert sum(summary.values()) == program.function("main").size // 4
+
+    def test_data_cache_precise_access_recorded(self):
+        program, cfg, loops, values = self._prepare()
+        processor = leon2_like()
+        result = DataCacheAnalysis(
+            cfg, processor.dcache, values.accesses, processor.memory_map, loops
+        ).run()
+        assert sum(result.summary().values()) == 1
+
+    def test_instruction_cache_classification_sound_vs_trace(self):
+        """No instruction classified always-hit may miss in the concrete run."""
+        program, cfg, loops, values = self._prepare()
+        processor = leon2_like()
+        analysis = InstructionCacheAnalysis(cfg, processor.icache, loops).run()
+        concrete = LRUCacheSimulator(processor.icache)
+        result = Interpreter(program).run()
+        for address in result.trace.instruction_addresses:
+            hit = concrete.access(address, 4)
+            if analysis.classification_for(address) is CacheClassification.ALWAYS_HIT:
+                assert hit
+
+
+class TestPipeline:
+    def test_block_bounds_are_ordered(self, counter_loop_program, cached_processor):
+        cfg, _ = reconstruct_cfg(counter_loop_program, "main")
+        model = PipelineModel(cached_processor)
+        for block in cfg.blocks.values():
+            bounds = model.block_time_bounds(block)
+            assert 0 < bounds.bcet_cycles <= bounds.wcet_cycles
+
+    def test_unknown_access_charged_with_slowest_module(self, cached_processor):
+        program = parse_assembly(".func main params=1\n    load r4, [r3 + 0]\n    halt\n")
+        cfg, _ = reconstruct_cfg(program, "main")
+        values = ValueAnalysis(program, cfg).run()
+        model = PipelineModel(cached_processor)
+        block = cfg.block(cfg.entry_block)
+        with_info = model.block_time_bounds(block, accesses=values.accesses)
+        slowest = cached_processor.memory_map.slowest_module().read_latency
+        assert with_info.memory_cycles >= slowest
+
+    def test_trace_timer_counts_cycles(self, counter_loop_program, scalar_processor):
+        result = Interpreter(counter_loop_program).run()
+        timing = TraceTimer(scalar_processor, counter_loop_program).time(result.trace)
+        assert timing.cycles > timing.instructions  # memory + branches cost extra
+
+    def test_trace_timer_with_caches_reports_stats(self, counter_loop_program, cached_processor):
+        result = Interpreter(counter_loop_program).run()
+        timing = TraceTimer(cached_processor, counter_loop_program).time(result.trace)
+        assert timing.icache_stats is not None and timing.icache_stats.accesses > 0
+
+    def test_processor_presets_are_distinct(self):
+        names = {p().name for p in (simple_scalar, leon2_like, mpc5554_like, hcs12x_like)}
+        assert len(names) == 4
+
+    def test_preset_cache_configuration(self):
+        assert leon2_like().dcache is not None
+        assert mpc5554_like().dcache is None
+        assert hcs12x_like().icache is None
+
+    def test_without_caches_helper(self):
+        processor = leon2_like().without_caches()
+        assert processor.icache is None and processor.dcache is None
