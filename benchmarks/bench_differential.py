@@ -1,0 +1,127 @@
+"""Experiment D-differential — throughput of the differential soundness harness.
+
+The harness is the standing scenario-diversity engine every later change is
+validated against, so its own throughput matters: a sweep that takes minutes
+per hundred programs caps how many scenarios CI can afford.  This bench runs
+a batched sweep and reports
+
+* end-to-end programs/second and the per-phase cost split
+  (generate / compile / analyze / execute+time / structure checks), exposing
+  the analyzer's per-program fixed costs;
+* the soundness margin distribution (WCET bound vs. worst observed input),
+  i.e. how tight the static bounds are on generated code.
+
+Set ``REPRO_DIFF_PROGRAMS`` to sweep more seeds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.hardware import TraceTimer, simple_scalar
+from repro.ir import Interpreter
+from repro.minic import compile_source
+from repro.testing import OracleConfig, check_case, generate_case, render_case
+from repro.testing.oracle import enumerate_inputs
+from helpers import print_comparison
+
+
+def _num_programs(default: int = 40) -> int:
+    return int(os.environ.get("REPRO_DIFF_PROGRAMS", default))
+
+
+def test_differential_sweep_throughput_and_phase_split():
+    from repro.wcet import WCETAnalyzer
+
+    count = _num_programs()
+    base_seed = 90_000
+    processor_factory = simple_scalar
+
+    phase_seconds = {"generate": 0.0, "compile": 0.0, "analyze": 0.0, "execute": 0.0}
+    margins = []
+    runs = 0
+
+    started = time.perf_counter()
+    for seed in range(base_seed, base_seed + count):
+        t0 = time.perf_counter()
+        case = generate_case(seed)
+        rendered = render_case(case)
+        t1 = time.perf_counter()
+        program = compile_source(rendered.source, entry=case.entry)
+        t2 = time.perf_counter()
+        processor = processor_factory()
+        report = WCETAnalyzer(
+            program, processor, annotations=rendered.annotations
+        ).analyze(entry=case.entry)
+        t3 = time.perf_counter()
+        worst_observed = 0
+        for initial_data in enumerate_inputs(case.input_variables(), 3, seed=0):
+            execution = Interpreter(program, max_steps=case.max_steps).run(
+                case.entry, initial_data=initial_data
+            )
+            observed = TraceTimer(processor, program).time(execution.trace)
+            worst_observed = max(worst_observed, observed.cycles)
+            assert report.bcet_cycles <= observed.cycles <= report.wcet_cycles, seed
+            runs += 1
+        t4 = time.perf_counter()
+
+        phase_seconds["generate"] += t1 - t0
+        phase_seconds["compile"] += t2 - t1
+        phase_seconds["analyze"] += t3 - t2
+        phase_seconds["execute"] += t4 - t3
+        if worst_observed:
+            margins.append(report.wcet_cycles / worst_observed)
+
+    elapsed = time.perf_counter() - started
+    margins.sort()
+
+    print_comparison(
+        f"Differential harness throughput ({count} programs, {runs} runs)",
+        [
+            ("total wall clock", f"{elapsed:.2f} s"),
+            ("throughput", f"{count / elapsed:.1f} programs/s"),
+            ("per program", f"{elapsed / count * 1000:.0f} ms"),
+            (
+                "phase split",
+                " / ".join(
+                    f"{name} {seconds / elapsed * 100:.0f}%"
+                    for name, seconds in phase_seconds.items()
+                ),
+            ),
+            ("WCET/observed margin (median)", f"{margins[len(margins) // 2]:.2f}x"),
+            ("WCET/observed margin (min..max)", f"{margins[0]:.2f}x .. {margins[-1]:.2f}x"),
+        ],
+    )
+
+    # Shape assertions: the harness stays usable in CI, the margin is sane.
+    assert elapsed / count < 2.0, "differential checking became pathologically slow"
+    assert margins[0] >= 1.0, "a margin below 1.0 is a soundness violation"
+    # Analysis dominates the per-program fixed cost today; if that ever flips
+    # towards generation the harness itself has regressed.
+    assert phase_seconds["generate"] < phase_seconds["analyze"]
+
+
+def test_batched_oracle_amortises_fixed_costs():
+    """Per-program cost must not grow with batch size (no cross-program state)."""
+    config = OracleConfig(max_input_vectors=2)
+
+    def sweep(count: int, base: int) -> float:
+        t0 = time.perf_counter()
+        for seed in range(base, base + count):
+            result = check_case(generate_case(seed), config)
+            assert result.ok, (seed, result.violation_kinds())
+        return (time.perf_counter() - t0) / count
+
+    small = sweep(5, 91_000)
+    large = sweep(15, 92_000)
+    print_comparison(
+        "Batched oracle scaling",
+        [
+            ("5-program batch", f"{small * 1000:.0f} ms/program"),
+            ("15-program batch", f"{large * 1000:.0f} ms/program"),
+        ],
+    )
+    # Generous factor: seeds vary in size; we only guard against superlinear
+    # blow-up from state leaking between programs.
+    assert large < small * 5

@@ -23,6 +23,17 @@ INT32_MAX = 2**31 - 1
 UINT32_MAX = 2**32 - 1
 
 
+def _wrap_signed32(value: int) -> int:
+    """Interpret a 32-bit pattern as the signed value the machine stores.
+
+    Constant folding in the transfer functions must agree with the concrete
+    interpreter, whose registers hold signed two's-complement words — e.g.
+    ``-4 ^ 0`` is ``-4``, not ``4294967292``.
+    """
+    value &= UINT32_MAX
+    return value - 0x1_0000_0000 if value > INT32_MAX else value
+
+
 @dataclass(frozen=True)
 class Interval:
     """A (possibly unbounded) integer interval ``[lo, hi]``.
@@ -262,7 +273,12 @@ class Interval:
         if self.is_bottom or other.is_bottom:
             return Interval.bottom()
         if other.is_constant and self.is_finite and 0 <= other.lo <= 31:
-            return Interval(self.lo << other.lo, self.hi << other.lo)
+            lo = self.lo << other.lo
+            hi = self.hi << other.lo
+            # The machine wraps to signed 32 bits; an interval that leaves
+            # that range no longer covers the wrapped concrete value.
+            if INT32_MIN <= lo and hi <= INT32_MAX:
+                return Interval(lo, hi)
         return Interval.top()
 
     def shift_right_logical(self, other: "Interval") -> "Interval":
@@ -291,7 +307,9 @@ class Interval:
         if self.is_bottom or other.is_bottom:
             return Interval.bottom()
         if self.is_constant and other.is_constant:
-            return Interval.const((self.lo & 0xFFFFFFFF) & (other.lo & 0xFFFFFFFF))
+            return Interval.const(
+                _wrap_signed32((self.lo & 0xFFFFFFFF) & (other.lo & 0xFFFFFFFF))
+            )
         # x & mask is within [0, mask] for non-negative mask.
         if other.is_constant and other.lo >= 0:
             return Interval(0, other.lo)
@@ -305,7 +323,9 @@ class Interval:
         if self.is_bottom or other.is_bottom:
             return Interval.bottom()
         if self.is_constant and other.is_constant:
-            return Interval.const((self.lo & 0xFFFFFFFF) | (other.lo & 0xFFFFFFFF))
+            return Interval.const(
+                _wrap_signed32((self.lo & 0xFFFFFFFF) | (other.lo & 0xFFFFFFFF))
+            )
         if (
             self.is_finite
             and other.is_finite
@@ -313,17 +333,20 @@ class Interval:
             and other.is_nonnegative()
         ):
             # The OR of two non-negative values is bounded by the next power of
-            # two above the larger maximum, minus one.
+            # two above the larger maximum, minus one (and OR cannot set the
+            # sign bit when both operands are non-negative 32-bit values).
             bound = max(self.hi, other.hi)
             result_max = (1 << bound.bit_length()) - 1 if bound > 0 else 0
-            return Interval(0, result_max)
+            return Interval(0, min(result_max, INT32_MAX))
         return Interval.top()
 
     def bit_xor(self, other: "Interval") -> "Interval":
         if self.is_bottom or other.is_bottom:
             return Interval.bottom()
         if self.is_constant and other.is_constant:
-            return Interval.const((self.lo & 0xFFFFFFFF) ^ (other.lo & 0xFFFFFFFF))
+            return Interval.const(
+                _wrap_signed32((self.lo & 0xFFFFFFFF) ^ (other.lo & 0xFFFFFFFF))
+            )
         return self.bit_or(other)
 
     def bit_not(self) -> "Interval":

@@ -225,9 +225,14 @@ class TraceTimer:
                 # fetch and base cost are charged.
 
             # --- control transfer penalty -------------------------------- #
+            # Unconditional transfers (br/call/ret/ibr) always redirect the
+            # fetch stream and pay the penalty, even when the target happens
+            # to be the next sequential address — matching the static model,
+            # which charges them unconditionally.  Conditional branches pay
+            # only when they actually leave the fall-through path.
             if instr.op_class in (OpClass.BRANCH, OpClass.CALL, OpClass.RETURN):
                 taken = True
-                if position + 1 < len(addresses):
+                if instr.is_conditional_branch and position + 1 < len(addresses):
                     taken = addresses[position + 1] != address + INSTRUCTION_SIZE
                 if taken:
                     cycles += processor.branch_penalty

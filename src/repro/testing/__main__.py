@@ -1,0 +1,127 @@
+"""Command-line differential sweep: ``python -m repro.testing``.
+
+Generates ``--count`` programs from consecutive seeds starting at
+``--base-seed``, runs the differential oracle on each, prints a per-program
+line (always including the seed, so any failure is reproducible from the CI
+log alone), and exits non-zero if any program violates a soundness invariant.
+
+On a violation the offending program is shrunk and both the minimised source
+and a ready-to-commit corpus JSON payload are printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.hardware.processor import hcs12x_like, leon2_like, mpc5554_like, simple_scalar
+from repro.testing.corpus import case_payload, load_corpus
+from repro.testing.generator import generate_case, render_case
+from repro.testing.oracle import DifferentialOracle, OracleConfig
+from repro.testing.shrink import Shrinker
+
+_PROCESSORS = {
+    "simple": simple_scalar,
+    "leon2": leon2_like,
+    "mpc5554": mpc5554_like,
+    "hcs12x": hcs12x_like,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing",
+        description="differential soundness sweep over generated mini-C programs",
+    )
+    parser.add_argument("--count", type=int, default=25, help="programs to generate")
+    parser.add_argument("--base-seed", type=int, default=1, help="first seed")
+    parser.add_argument(
+        "--processor",
+        choices=sorted(_PROCESSORS),
+        default="simple",
+        help="processor timing model",
+    )
+    parser.add_argument(
+        "--inputs", type=int, default=4, help="input vectors per program"
+    )
+    parser.add_argument(
+        "--corpus", action="store_true", help="also replay the checked-in corpus"
+    )
+    parser.add_argument("--verbose", action="store_true", help="per-program lines")
+    parser.add_argument(
+        "--no-shrink", action="store_true", help="skip shrinking on failure"
+    )
+    args = parser.parse_args(argv)
+
+    config = OracleConfig(
+        processor_factory=_PROCESSORS[args.processor],
+        max_input_vectors=args.inputs,
+    )
+    oracle = DifferentialOracle(config)
+
+    print(
+        f"differential sweep: {args.count} programs, base seed {args.base_seed}, "
+        f"processor {args.processor!r}, {args.inputs} input vectors each"
+    )
+    started = time.perf_counter()
+    failures = []
+    total_runs = 0
+    for seed in range(args.base_seed, args.base_seed + args.count):
+        case = generate_case(seed)
+        result = oracle.check(case)
+        total_runs += len(result.runs)
+        if args.verbose or not result.ok:
+            print(f"  seed {seed:>6d}: {result.summary()}")
+        if not result.ok:
+            failures.append((seed, case, result))
+
+    elapsed = time.perf_counter() - started
+    print(
+        f"checked {args.count} programs / {total_runs} concrete runs in "
+        f"{elapsed:.1f}s ({elapsed / max(args.count, 1) * 1000:.0f} ms/program); "
+        f"{len(failures)} violating"
+    )
+
+    if args.corpus:
+        corpus = load_corpus()
+        print(f"replaying {len(corpus)} corpus cases")
+        for case in corpus:
+            result = oracle.check(case)
+            if args.verbose or not result.ok:
+                print(f"  corpus {case.name}: {result.summary()}")
+            if not result.ok:
+                failures.append((None, case, result))
+
+    for seed, case, result in failures:
+        print()
+        origin = f"seed {seed}" if seed is not None else f"corpus {case.name}"
+        print(f"=== VIOLATION ({origin}) " + "=" * 40)
+        for violation in result.violations:
+            print(f"  {violation}")
+        if args.no_shrink or seed is None:
+            print(result.source)
+            continue
+        shrunk = Shrinker(config).shrink(case)
+        print(
+            f"  shrunk to {shrunk.line_count} lines "
+            f"({shrunk.reductions} reductions, {shrunk.checks} oracle checks):"
+        )
+        print(render_case(shrunk.case).source)
+        kinds = ",".join(shrunk.result.violation_kinds())
+        payload = case_payload(
+            shrunk.case,
+            f"Found by a differential sweep (seed {seed}): {kinds}. "
+            "Minimised by the shrinker; describe the root cause here.",
+            name=f"regress-seed-{seed}",
+        )
+        print("  corpus payload (save as tests/corpus/<name>.json after fixing):")
+        print(json.dumps(payload, indent=2))
+        print(f"  reproduce with: generate_case({seed}) — see docs/testing.md")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

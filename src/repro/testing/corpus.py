@@ -1,0 +1,176 @@
+"""Regression-seed corpus: violating programs, minimised and checked in.
+
+When the differential harness finds a program that breaches a soundness
+invariant, the shrinker minimises it and the result is saved as a JSON file
+under ``tests/corpus/``.  The test suite replays every corpus case through
+the oracle on every run, so a once-found bug can never silently return.
+Hand-crafted adversarial programs (irreducible control flow, call chains at
+the context-depth limit, aliasing pointer writes) live in the same format.
+
+File format (``tests/corpus/<name>.json``)::
+
+    {
+      "name": "irreducible-goto-loop",
+      "description": "why this case exists",
+      "entry": "main",
+      "source": ["int main(void) {", "...lines...", "}"],
+      "annotations": ["loopbound main.top 5"],
+      "inputs": [{"name": "in0", "low": -8, "high": 8},
+                 {"name": "inbuf0", "length": 8, "low": 0, "high": 7}],
+      "max_steps": 2000000
+    }
+
+``annotations`` lines use the textual format of
+:mod:`repro.annotations.parser`; ``inputs`` declare which globals the oracle
+enumerates concrete values for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.annotations import AnnotationSet, parse_annotations
+from repro.testing.generator import GeneratedCase, GlobalVar, RenderedCase, render_case
+
+
+def default_corpus_dir() -> str:
+    """``tests/corpus`` relative to the repository root."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "corpus")
+
+
+@dataclass
+class CorpusCase:
+    """One checked-in regression program (source form, not a model)."""
+
+    name: str
+    description: str
+    source: str
+    entry: str = "main"
+    annotations_text: str = ""
+    inputs: List[GlobalVar] = field(default_factory=list)
+    max_steps: int = 2_000_000
+    path: Optional[str] = None
+    seed: Optional[int] = None
+
+    # Duck-typed interface the oracle consumes -------------------------- #
+    def rendered(self) -> RenderedCase:
+        annotations = (
+            parse_annotations(self.annotations_text)
+            if self.annotations_text.strip()
+            else AnnotationSet()
+        )
+        return RenderedCase(
+            source=self.source,
+            annotations=annotations,
+            line_count=len(self.source.splitlines()),
+        )
+
+    def input_variables(self) -> List[GlobalVar]:
+        return list(self.inputs)
+
+
+# --------------------------------------------------------------------------- #
+# Loading
+# --------------------------------------------------------------------------- #
+def load_case(path: str) -> CorpusCase:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    inputs = [
+        GlobalVar(
+            name=entry["name"],
+            length=entry.get("length"),
+            low=entry.get("low", -8),
+            high=entry.get("high", 8),
+            is_input=True,
+        )
+        for entry in data.get("inputs", [])
+    ]
+    source = data["source"]
+    if isinstance(source, list):
+        source = "\n".join(source) + "\n"
+    return CorpusCase(
+        name=data["name"],
+        description=data.get("description", ""),
+        source=source,
+        entry=data.get("entry", "main"),
+        annotations_text="\n".join(data.get("annotations", [])),
+        inputs=inputs,
+        max_steps=data.get("max_steps", 2_000_000),
+        path=path,
+    )
+
+
+def load_corpus(directory: Optional[str] = None) -> List[CorpusCase]:
+    """All corpus cases in ``directory`` (default: ``tests/corpus``), sorted."""
+    directory = directory or default_corpus_dir()
+    if not os.path.isdir(directory):
+        return []
+    cases: List[CorpusCase] = []
+    for filename in sorted(os.listdir(directory)):
+        if filename.endswith(".json"):
+            cases.append(load_case(os.path.join(directory, filename)))
+    return cases
+
+
+# --------------------------------------------------------------------------- #
+# Saving (used when the harness finds and shrinks a new violation)
+# --------------------------------------------------------------------------- #
+def annotations_to_text(annotations: AnnotationSet) -> List[str]:
+    """Serialise the annotation kinds the generator emits to text lines."""
+    lines: List[str] = []
+    for bound in annotations.loop_bounds:
+        lines.append(
+            f"loopbound {bound.function}.{bound.location} {bound.max_iterations}"
+        )
+    for argrange in annotations.argument_ranges:
+        lines.append(
+            f"argrange {argrange.function} {argrange.register} "
+            f"{argrange.low} {argrange.high}"
+        )
+    return lines
+
+
+def case_payload(
+    case: GeneratedCase, description: str, name: Optional[str] = None
+) -> dict:
+    """The corpus JSON payload for a generated case (what gets saved)."""
+    rendered = render_case(case)
+    return {
+        "name": name or case.name,
+        "description": description,
+        "entry": case.entry,
+        "source": rendered.source.rstrip("\n").split("\n"),
+        "annotations": annotations_to_text(rendered.annotations),
+        "inputs": [
+            {
+                "name": variable.name,
+                **({"length": variable.length} if variable.length else {}),
+                "low": variable.low,
+                "high": variable.high,
+            }
+            for variable in case.input_variables()
+        ],
+        "max_steps": case.max_steps,
+    }
+
+
+def save_case(
+    case: GeneratedCase,
+    description: str,
+    directory: Optional[str] = None,
+    name: Optional[str] = None,
+) -> str:
+    """Save a (typically shrunk) generated case as a corpus JSON file."""
+    directory = directory or default_corpus_dir()
+    os.makedirs(directory, exist_ok=True)
+    payload = case_payload(case, description, name=name)
+    path = os.path.join(directory, f"{payload['name']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path

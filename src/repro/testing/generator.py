@@ -1,0 +1,734 @@
+"""Seeded, grammar-driven mini-C program generator.
+
+The generator builds a small structured program model (:class:`GeneratedCase`)
+and renders it to mini-C source plus the :class:`AnnotationSet` the WCET
+analyzer needs.  Keeping the structured form around (instead of only source
+text) is what makes the delta-debugging shrinker practical: transformations
+remove statements or functions from the model and re-render, so loop-bound
+annotations — which reference ``loop_<line>`` labels — are recomputed from the
+new line numbers instead of going stale.
+
+Every generated program is, by construction:
+
+* **well typed** — only ``int`` scalars, ``int`` arrays and ``int *``
+  parameters are emitted, and every name is declared before use;
+* **terminating** — all loops are counter loops with constant bounds and all
+  calls go strictly "downward" in the function list (no recursion);
+* **memory safe** — array indices are either constants below the array length
+  or loop counters whose bound does not exceed the array length (or inputs
+  masked with ``& (len - 1)``);
+* **analysable** — loops whose exit condition the value analysis may not see
+  through (data-dependent ``break``) carry a loop-bound annotation that is
+  correct by construction.
+
+Inputs are modelled as dedicated global scalars/arrays with a declared value
+range; the oracle enumerates concrete input vectors for them.  The feature mix
+(:class:`FeatureMix`) makes the grammar configurable: probabilities and limits
+for conditionals, loop kinds, call depth, arrays, pointer writes, annotated
+loops, and masked input-dependent indexing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.annotations import AnnotationSet
+
+#: Length of every generated input/state array (a power of two so masked
+#: input-dependent indices are in bounds by construction).
+ARRAY_LENGTH = 8
+
+
+# --------------------------------------------------------------------------- #
+# Program model
+# --------------------------------------------------------------------------- #
+@dataclass
+class GlobalVar:
+    """One global variable of the generated program.
+
+    ``length`` is ``None`` for scalars.  ``is_input`` marks the variable as an
+    oracle input: its initial contents are enumerated per run within
+    ``[low, high]``.  Non-input globals start at ``initial``.
+    """
+
+    name: str
+    length: Optional[int] = None
+    initial: int = 0
+    is_input: bool = False
+    low: int = -8
+    high: int = 8
+
+
+@dataclass
+class SAssign:
+    """``lhs = expr;`` — lhs is a scalar name or an array element."""
+
+    lhs: str
+    expr: str
+
+
+@dataclass
+class SIf:
+    cond: str
+    then: List["Stmt"] = field(default_factory=list)
+    els: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class SFor:
+    """``for (var = 0; var < bound; var = var + 1) { body }``.
+
+    ``annotate`` optionally carries an explicit loop-bound annotation (the
+    declared bound); the automatic loop-bound analysis finds counter loops on
+    its own, so most for loops leave it ``None``.
+    """
+
+    var: str
+    bound: int
+    body: List["Stmt"] = field(default_factory=list)
+    annotate: Optional[int] = None
+
+
+@dataclass
+class SWhileBreak:
+    """An annotated while loop with an optional data-dependent early exit::
+
+        while (var < bound) {
+            <body>
+            if (<break_cond>) { break; }
+            var = var + 1;
+        }
+
+    ``annotate`` is the declared iteration bound emitted as a ``loopbound``
+    annotation.  A *correct* declaration equals ``bound``; the known-bad
+    program used to validate the shrinker deliberately declares less.
+    """
+
+    var: str
+    bound: int
+    body: List["Stmt"] = field(default_factory=list)
+    break_cond: Optional[str] = None
+    annotate: Optional[int] = None
+
+
+@dataclass
+class SCall:
+    """``lhs = callee(args);`` or a bare ``callee(args);`` when lhs is None."""
+
+    callee: str
+    args: List[str] = field(default_factory=list)
+    lhs: Optional[str] = None
+
+
+@dataclass
+class SReturn:
+    expr: str
+
+
+Stmt = Union[SAssign, SIf, SFor, SWhileBreak, SCall, SReturn]
+
+
+@dataclass
+class Param:
+    name: str
+    is_pointer: bool = False
+
+
+@dataclass
+class GFunction:
+    name: str
+    params: List[Param] = field(default_factory=list)
+    locals_: List[Tuple[str, str]] = field(default_factory=list)  # (name, init expr)
+    body: List[Stmt] = field(default_factory=list)
+    return_expr: str = "0"
+    returns_void: bool = False
+    #: Inclusive value range of each scalar argument at every generated call
+    #: site; rendered as an ``argrange`` annotation when set.
+    arg_ranges: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+
+@dataclass
+class GeneratedCase:
+    """One generated program: globals + functions (entry last) + metadata."""
+
+    name: str
+    seed: int
+    globals_: List[GlobalVar] = field(default_factory=list)
+    functions: List[GFunction] = field(default_factory=list)
+    entry: str = "main"
+    max_steps: int = 2_000_000
+    notes: str = ""
+
+    def input_variables(self) -> List[GlobalVar]:
+        return [g for g in self.globals_ if g.is_input]
+
+    def function(self, name: str) -> GFunction:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(name)
+
+
+@dataclass
+class RenderedCase:
+    """The source text and annotations obtained from one program model."""
+
+    source: str
+    annotations: AnnotationSet
+    line_count: int
+
+
+# --------------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------------- #
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    @property
+    def next_line(self) -> int:
+        return len(self.lines) + 1
+
+    def emit(self, indent: int, text: str) -> int:
+        self.lines.append("    " * indent + text)
+        return len(self.lines)
+
+
+def render_case(case: GeneratedCase) -> RenderedCase:
+    """Render the program model to mini-C source and its annotation set."""
+    emitter = _Emitter()
+    annotations = AnnotationSet()
+
+    for var in case.globals_:
+        if var.length is not None:
+            emitter.emit(0, f"int {var.name}[{var.length}];")
+        elif var.initial:
+            emitter.emit(0, f"int {var.name} = {var.initial};")
+        else:
+            emitter.emit(0, f"int {var.name};")
+
+    for function in case.functions:
+        params = ", ".join(
+            (f"int *{p.name}" if p.is_pointer else f"int {p.name}")
+            for p in function.params
+        ) or "void"
+        return_type = "void" if function.returns_void else "int"
+        emitter.emit(0, f"{return_type} {function.name}({params}) {{")
+        for name, init in function.locals_:
+            emitter.emit(1, f"int {name} = {init};")
+        _render_block(emitter, annotations, function, function.body, 1)
+        if not function.returns_void:
+            emitter.emit(1, f"return {function.return_expr};")
+        emitter.emit(0, "}")
+        for position, (low, high) in enumerate(
+            function.arg_ranges.get(p.name, (None, None))
+            for p in function.params
+        ):
+            if low is not None:
+                annotations.add_argument_range(function.name, f"r{3 + position}", low, high)
+
+    source = "\n".join(emitter.lines) + "\n"
+    return RenderedCase(
+        source=source, annotations=annotations, line_count=len(emitter.lines)
+    )
+
+
+def _render_block(
+    emitter: _Emitter,
+    annotations: AnnotationSet,
+    function: GFunction,
+    stmts: Sequence[Stmt],
+    indent: int,
+) -> None:
+    for stmt in stmts:
+        _render_stmt(emitter, annotations, function, stmt, indent)
+
+
+def _render_stmt(
+    emitter: _Emitter,
+    annotations: AnnotationSet,
+    function: GFunction,
+    stmt: Stmt,
+    indent: int,
+) -> None:
+    if isinstance(stmt, SAssign):
+        emitter.emit(indent, f"{stmt.lhs} = {stmt.expr};")
+        return
+    if isinstance(stmt, SIf):
+        emitter.emit(indent, f"if ({stmt.cond}) {{")
+        _render_block(emitter, annotations, function, stmt.then, indent + 1)
+        if stmt.els:
+            emitter.emit(indent, "} else {")
+            _render_block(emitter, annotations, function, stmt.els, indent + 1)
+        emitter.emit(indent, "}")
+        return
+    if isinstance(stmt, SFor):
+        line = emitter.emit(
+            indent,
+            f"for ({stmt.var} = 0; {stmt.var} < {stmt.bound}; "
+            f"{stmt.var} = {stmt.var} + 1) {{",
+        )
+        if stmt.annotate is not None:
+            annotations.add_loop_bound(function.name, f"loop_{line}", stmt.annotate)
+        _render_block(emitter, annotations, function, stmt.body, indent + 1)
+        emitter.emit(indent, "}")
+        return
+    if isinstance(stmt, SWhileBreak):
+        emitter.emit(indent, f"{stmt.var} = 0;")
+        line = emitter.emit(indent, f"while ({stmt.var} < {stmt.bound}) {{")
+        if stmt.annotate is not None:
+            annotations.add_loop_bound(function.name, f"loop_{line}", stmt.annotate)
+        _render_block(emitter, annotations, function, stmt.body, indent + 1)
+        if stmt.break_cond is not None:
+            emitter.emit(indent + 1, f"if ({stmt.break_cond}) {{")
+            emitter.emit(indent + 2, "break;")
+            emitter.emit(indent + 1, "}")
+        emitter.emit(indent + 1, f"{stmt.var} = {stmt.var} + 1;")
+        emitter.emit(indent, "}")
+        return
+    if isinstance(stmt, SCall):
+        call = f"{stmt.callee}({', '.join(stmt.args)})"
+        if stmt.lhs is not None:
+            emitter.emit(indent, f"{stmt.lhs} = {call};")
+        else:
+            emitter.emit(indent, f"{call};")
+        return
+    if isinstance(stmt, SReturn):
+        emitter.emit(indent, f"return {stmt.expr};")
+        return
+    raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Feature mix
+# --------------------------------------------------------------------------- #
+@dataclass
+class FeatureMix:
+    """Probabilities and limits steering the grammar."""
+
+    #: Helper functions besides main (callees of main and of each other).
+    max_helpers: int = 3
+    max_params: int = 3
+    max_stmts: int = 5            # statements per block
+    max_depth: int = 3            # nesting depth of if/for/while
+    max_expr_depth: int = 2
+    max_loop_bound: int = 8
+    max_locals: int = 5
+    input_scalars: int = 2
+    input_arrays: int = 1
+    state_scalars: int = 2
+    state_arrays: int = 1
+
+    p_if: float = 0.22
+    p_for: float = 0.18
+    p_while_break: float = 0.10
+    p_call: float = 0.18
+    p_array_store: float = 0.15
+    p_pointer_write: float = 0.10
+    p_else: float = 0.5
+    p_annotate_for: float = 0.2
+    p_masked_input_index: float = 0.15
+    p_compare_chain: float = 0.3
+
+    allow_calls: bool = True
+    allow_pointers: bool = True
+    allow_arrays: bool = True
+    allow_while_break: bool = True
+    allow_division: bool = True
+
+    #: Cap on the *estimated dynamic step count* of any single function
+    #: (loops multiply, calls add the callee's estimate).  Without this,
+    #: nested loops around nested calls compose multiplicatively and a
+    #: single seed can take millions of interpreter steps; the generator
+    #: vetoes calls that would blow the budget and emits a plain assignment
+    #: instead, keeping every generated program cheap to replay.
+    max_dynamic_cost: int = 40_000
+
+    def scaled_for_depth(self, depth: int) -> "FeatureMix":
+        """Damp structure probabilities as nesting grows."""
+        factor = 0.5 ** depth
+        return replace(
+            self,
+            p_if=self.p_if * factor,
+            p_for=self.p_for * factor,
+            p_while_break=self.p_while_break * factor,
+        )
+
+
+#: Arithmetic operators usable between arbitrary int expressions.
+_ARITH_OPS = ("+", "-", "*", "&", "|", "^")
+_COMPARE_OPS = ("<", "<=", ">", ">=", "==", "!=")
+#: Divisors/moduli — strictly positive constants so execution never traps.
+_DIVISORS = (2, 3, 4, 5, 7)
+
+
+# --------------------------------------------------------------------------- #
+# Generator
+# --------------------------------------------------------------------------- #
+class ProgramGenerator:
+    """Generates one :class:`GeneratedCase` per seed, deterministically."""
+
+    #: Rough interpreter-step costs of generated constructs (calibration for
+    #: the dynamic-cost budget; deliberately pessimistic).
+    _STMT_COST = 10
+    _LOOP_ITERATION_COST = 8
+    _CALL_OVERHEAD = 40
+
+    def __init__(self, seed: int, mix: Optional[FeatureMix] = None):
+        self.seed = seed
+        self.mix = mix or FeatureMix()
+        self.rng = random.Random(seed)
+        #: Estimated dynamic step cost of each finished function.
+        self._costs: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def generate(self) -> GeneratedCase:
+        rng = self.rng
+        mix = self.mix
+        case = GeneratedCase(name=f"gen_{self.seed}", seed=self.seed)
+
+        for index in range(mix.input_scalars):
+            case.globals_.append(
+                GlobalVar(name=f"in{index}", is_input=True, low=-8, high=8)
+            )
+        for index in range(mix.input_arrays):
+            case.globals_.append(
+                GlobalVar(
+                    name=f"inbuf{index}",
+                    length=ARRAY_LENGTH,
+                    is_input=True,
+                    low=-8,
+                    high=8,
+                )
+            )
+        for index in range(mix.state_scalars):
+            case.globals_.append(
+                GlobalVar(name=f"g{index}", initial=rng.randint(-4, 4))
+            )
+        for index in range(mix.state_arrays):
+            case.globals_.append(GlobalVar(name=f"sbuf{index}", length=ARRAY_LENGTH))
+
+        if mix.allow_pointers:
+            case.functions.append(self._pointer_write_helper())
+
+        num_helpers = rng.randint(0, mix.max_helpers) if mix.allow_calls else 0
+        for index in range(num_helpers):
+            case.functions.append(self._generate_helper(case, index))
+        case.functions.append(self._generate_main(case))
+        # Generous interpreter budget relative to the estimate: a real
+        # divergence still trips it, a merely-large program does not.
+        case.max_steps = max(200_000, self._costs.get("main", 0) * 10)
+        return case
+
+    # ------------------------------------------------------------------ #
+    def _pointer_write_helper(self) -> GFunction:
+        """``void pw(int *p, int v) { *p = *p + v; }`` — the aliasing probe."""
+        self._costs["pw"] = 40
+        return GFunction(
+            name="pw",
+            params=[Param("p", is_pointer=True), Param("v")],
+            body=[SAssign("*p", "*p + v")],
+            returns_void=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _generate_helper(self, case: GeneratedCase, index: int) -> GFunction:
+        rng = self.rng
+        mix = self.mix
+        num_params = rng.randint(1, mix.max_params)
+        params = [Param(f"a{i}") for i in range(num_params)]
+        function = GFunction(name=f"f{index}", params=params)
+        # Scalar arguments are always generated within this range; declaring it
+        # lets the context-insensitive analysis bound argument-driven loops.
+        for param in params:
+            function.arg_ranges[param.name] = (-16, 16)
+        self._fill_function(case, function, callees=self._callees(case, index))
+        return function
+
+    def _generate_main(self, case: GeneratedCase) -> GFunction:
+        function = GFunction(name="main", params=[])
+        self._fill_function(
+            case, function, callees=self._callees(case, len(case.functions))
+        )
+        return function
+
+    def _callees(self, case: GeneratedCase, index: int) -> List[GFunction]:
+        """Helpers a function may call: only ones generated before it."""
+        return [f for f in case.functions if f.name.startswith("f")][:index]
+
+    # ------------------------------------------------------------------ #
+    def _fill_function(
+        self, case: GeneratedCase, function: GFunction, callees: List[GFunction]
+    ) -> None:
+        rng = self.rng
+        mix = self.mix
+        num_locals = rng.randint(1, mix.max_locals)
+        for i in range(num_locals):
+            function.locals_.append((f"v{i}", str(rng.randint(-4, 4))))
+
+        scope = _Scope(case=case, function=function, callees=callees)
+        function.body = self._generate_block(scope, depth=0)
+        function.return_expr = self._expr(scope, mix.max_expr_depth)
+        self._costs[function.name] = self._CALL_OVERHEAD + scope.estimate
+
+    # ------------------------------------------------------------------ #
+    def _generate_block(self, scope: "_Scope", depth: int) -> List[Stmt]:
+        rng = self.rng
+        mix = self.mix.scaled_for_depth(depth)
+        stmts: List[Stmt] = []
+        for _ in range(rng.randint(1, mix.max_stmts)):
+            stmts.append(self._generate_stmt(scope, depth))
+        return stmts
+
+    def _generate_stmt(self, scope: "_Scope", depth: int) -> Stmt:
+        rng = self.rng
+        mix = self.mix.scaled_for_depth(depth)
+        roll = rng.random()
+
+        threshold = mix.p_if
+        if roll < threshold and depth < self.mix.max_depth:
+            return self._generate_if(scope, depth)
+        threshold += mix.p_for
+        if roll < threshold and depth < self.mix.max_depth:
+            return self._generate_for(scope, depth)
+        threshold += mix.p_while_break
+        if (
+            roll < threshold
+            and depth < self.mix.max_depth
+            and self.mix.allow_while_break
+        ):
+            return self._generate_while_break(scope, depth)
+        threshold += mix.p_call
+        if roll < threshold and scope.callees and self.mix.allow_calls:
+            call = self._generate_call(scope)
+            if call is not None:
+                return call
+        threshold += mix.p_array_store
+        if roll < threshold and self.mix.allow_arrays:
+            store = self._generate_array_store(scope)
+            if store is not None:
+                return store
+        threshold += mix.p_pointer_write
+        if roll < threshold and self.mix.allow_pointers:
+            call = self._generate_pointer_write(scope)
+            if call is not None:
+                return call
+        scope.charge(self._STMT_COST)
+        return SAssign(lhs=scope.random_scalar_lvalue(rng), expr=self._expr(scope, self.mix.max_expr_depth))
+
+    # ------------------------------------------------------------------ #
+    def _generate_if(self, scope: "_Scope", depth: int) -> SIf:
+        rng = self.rng
+        scope.charge(self._STMT_COST)
+        cond = self._condition(scope)
+        then = self._generate_block(scope, depth + 1)
+        els: List[Stmt] = []
+        if rng.random() < self.mix.p_else:
+            els = self._generate_block(scope, depth + 1)
+        return SIf(cond=cond, then=then, els=els)
+
+    def _generate_for(self, scope: "_Scope", depth: int) -> SFor:
+        rng = self.rng
+        var = scope.new_counter()
+        bound = rng.randint(1, min(self.mix.max_loop_bound, ARRAY_LENGTH))
+        annotate = bound if rng.random() < self.mix.p_annotate_for else None
+        scope.push_counter(var, bound)
+        scope.charge(self._LOOP_ITERATION_COST)
+        body = self._generate_block(scope, depth + 1)
+        scope.pop_counter()
+        return SFor(var=var, bound=bound, body=body, annotate=annotate)
+
+    def _generate_while_break(self, scope: "_Scope", depth: int) -> SWhileBreak:
+        rng = self.rng
+        var = scope.new_counter()
+        bound = rng.randint(1, min(self.mix.max_loop_bound, ARRAY_LENGTH))
+        scope.push_counter(var, bound)
+        scope.charge(self._LOOP_ITERATION_COST)
+        body = self._generate_block(scope, depth + 1)
+        break_cond = self._condition(scope) if rng.random() < 0.7 else None
+        scope.pop_counter()
+        return SWhileBreak(
+            var=var, bound=bound, body=body, break_cond=break_cond, annotate=bound
+        )
+
+    def _generate_call(self, scope: "_Scope") -> Optional[SCall]:
+        rng = self.rng
+        callee = rng.choice(scope.callees)
+        cost = self._CALL_OVERHEAD + self._costs.get(callee.name, self._CALL_OVERHEAD)
+        if not scope.fits(cost, self.mix.max_dynamic_cost):
+            return None
+        scope.charge(cost)
+        args: List[str] = []
+        for param in callee.params:
+            low, high = callee.arg_ranges.get(param.name, (-4, 4))
+            if rng.random() < 0.5:
+                args.append(str(rng.randint(low, high)))
+            else:
+                # A value expression clamped into the declared range by a
+                # modulus: rem in (-d, d) stays inside [-16, 16] for d <= 16.
+                divisor = rng.choice(_DIVISORS)
+                args.append(f"({self._leaf(scope)}) % {divisor}")
+        return SCall(callee=callee.name, args=args, lhs=scope.random_local(rng))
+
+    def _generate_array_store(self, scope: "_Scope") -> Optional[SAssign]:
+        rng = self.rng
+        array = scope.random_array(rng)
+        if array is None:
+            return None
+        scope.charge(self._STMT_COST)
+        index = self._array_index(scope)
+        return SAssign(
+            lhs=f"{array.name}[{index}]", expr=self._expr(scope, self.mix.max_expr_depth)
+        )
+
+    def _generate_pointer_write(self, scope: "_Scope") -> Optional[SCall]:
+        rng = self.rng
+        cost = self._CALL_OVERHEAD + self._costs.get("pw", self._CALL_OVERHEAD)
+        if not scope.fits(cost, self.mix.max_dynamic_cost):
+            return None
+        scope.charge(cost)
+        targets: List[str] = [
+            f"&{g.name}" for g in scope.case.globals_ if g.length is None
+        ]
+        array = scope.random_array(rng)
+        if array is not None:
+            targets.append(f"&{array.name}[{self._array_index(scope)}]")
+        target = rng.choice(targets)
+        return SCall(callee="pw", args=[target, self._expr(scope, 1)], lhs=None)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _array_index(self, scope: "_Scope") -> str:
+        """An in-bounds index: a bounded counter, a constant, or a masked input."""
+        rng = self.rng
+        candidates: List[str] = [str(rng.randint(0, ARRAY_LENGTH - 1))]
+        counter = scope.random_bounded_counter(rng, ARRAY_LENGTH)
+        if counter is not None:
+            candidates.append(counter)
+            candidates.append(counter)   # favour loop counters
+        if rng.random() < self.mix.p_masked_input_index:
+            inputs = [g.name for g in scope.case.globals_ if g.is_input and g.length is None]
+            if inputs:
+                candidates.append(f"({rng.choice(inputs)} & {ARRAY_LENGTH - 1})")
+        return rng.choice(candidates)
+
+    def _leaf(self, scope: "_Scope") -> str:
+        rng = self.rng
+        choices: List[str] = [str(rng.randint(-8, 8))]
+        choices.extend(scope.scalar_reads())
+        array = scope.random_array(rng)
+        if array is not None and self.mix.allow_arrays:
+            choices.append(f"{array.name}[{self._array_index(scope)}]")
+        return rng.choice(choices)
+
+    def _expr(self, scope: "_Scope", depth: int) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.35:
+            return self._leaf(scope)
+        roll = rng.random()
+        if roll < 0.12 and self.mix.allow_division:
+            return f"({self._expr(scope, depth - 1)}) / {rng.choice(_DIVISORS)}"
+        if roll < 0.24 and self.mix.allow_division:
+            return f"({self._expr(scope, depth - 1)}) % {rng.choice(_DIVISORS)}"
+        if roll < 0.32:
+            return f"({self._expr(scope, depth - 1)}) >> {rng.randint(0, 3)}"
+        if roll < 0.40:
+            return f"({self._expr(scope, depth - 1)}) << {rng.randint(0, 3)}"
+        if roll < 0.48:
+            return f"-({self._expr(scope, depth - 1)})"
+        op = rng.choice(_ARITH_OPS)
+        return f"({self._expr(scope, depth - 1)} {op} {self._expr(scope, depth - 1)})"
+
+    def _condition(self, scope: "_Scope") -> str:
+        rng = self.rng
+        left = self._expr(scope, 1)
+        right = self._expr(scope, 1)
+        cond = f"{left} {rng.choice(_COMPARE_OPS)} {right}"
+        if rng.random() < self.mix.p_compare_chain:
+            junction = rng.choice(("&&", "||"))
+            third = f"{self._leaf(scope)} {rng.choice(_COMPARE_OPS)} {self._leaf(scope)}"
+            cond = f"({cond}) {junction} ({third})"
+        return cond
+
+
+@dataclass
+class _Scope:
+    """Names visible while generating one function body."""
+
+    case: GeneratedCase
+    function: GFunction
+    callees: List[GFunction]
+    counters: List[Tuple[str, int]] = field(default_factory=list)
+    counter_names: List[str] = field(default_factory=list)
+    #: Estimated dynamic steps of the function body generated so far.
+    estimate: int = 0
+    #: Product of the bounds of the currently open loops.
+    multiplier: int = 1
+    #: Cap on distinct counters per function: together with max_locals and
+    #: max_params this keeps every scalar local in a callee-saved home
+    #: register, which the automatic loop-bound analysis depends on.
+    max_counters: int = 6
+
+    def new_counter(self) -> str:
+        active = {name for name, _ in self.counters}
+        if len(self.counter_names) >= self.max_counters:
+            free = [name for name in self.counter_names if name not in active]
+            if free:
+                return free[0]
+        name = f"i{len(self.counter_names)}"
+        self.counter_names.append(name)
+        self.function.locals_.append((name, "0"))
+        return name
+
+    def push_counter(self, name: str, bound: int) -> None:
+        self.counters.append((name, bound))
+        self.multiplier *= max(bound, 1)
+
+    def pop_counter(self) -> None:
+        _, bound = self.counters.pop()
+        self.multiplier //= max(bound, 1)
+
+    def charge(self, units: int) -> None:
+        self.estimate += self.multiplier * units
+
+    def fits(self, units: int, cap: int) -> bool:
+        return self.estimate + self.multiplier * units <= cap
+
+    def random_bounded_counter(self, rng: random.Random, limit: int) -> Optional[str]:
+        eligible = [name for name, bound in self.counters if bound <= limit]
+        return rng.choice(eligible) if eligible else None
+
+    def _active_counters(self) -> set:
+        return {name for name, _ in self.counters}
+
+    def random_local(self, rng: random.Random) -> str:
+        """A local that is safe to overwrite (never an active loop counter)."""
+        active = self._active_counters()
+        names = [name for name, _ in self.function.locals_ if name not in active]
+        return rng.choice(names)
+
+    def random_scalar_lvalue(self, rng: random.Random) -> str:
+        active = self._active_counters()
+        choices = [name for name, _ in self.function.locals_ if name not in active]
+        choices.extend(g.name for g in self.case.globals_ if g.length is None and not g.is_input)
+        return rng.choice(choices)
+
+    def random_array(self, rng: random.Random) -> Optional[GlobalVar]:
+        arrays = [g for g in self.case.globals_ if g.length is not None]
+        return rng.choice(arrays) if arrays else None
+
+    def scalar_reads(self) -> List[str]:
+        """Every scalar name readable here (locals, params, globals, inputs)."""
+        names = [name for name, _ in self.function.locals_]
+        names.extend(p.name for p in self.function.params if not p.is_pointer)
+        names.extend(g.name for g in self.case.globals_ if g.length is None)
+        return names
+
+
+# --------------------------------------------------------------------------- #
+def generate_case(seed: int, mix: Optional[FeatureMix] = None) -> GeneratedCase:
+    """Generate the program for one seed (deterministic)."""
+    return ProgramGenerator(seed, mix=mix).generate()

@@ -646,8 +646,11 @@ class WCETAnalyzer:
                 used = ARGUMENT_REGISTERS[: max(callee_function.num_params, 0)]
                 for register in used:
                     value = state.get(register)
-                    if not value.is_float and not value.interval.is_top:
-                        arguments[register] = value.interval
+                    if value.is_float:
+                        continue
+                    interval = self._argument_interval(value)
+                    if interval is not None and not interval.is_top:
+                        arguments[register] = interval
                 if arguments:
                     candidate = CallContext.from_arguments(callee, arguments)
                     existing = run.context_cache.contexts_for(callee)
@@ -666,6 +669,29 @@ class WCETAnalyzer:
             # was only analysed context-sensitively.
             run.reports[callee] = report
         return report
+
+    def _argument_interval(self, value: AbstractValue) -> Optional[Interval]:
+        """Numeric interval to seed a callee context with, or ``None``.
+
+        Address-typed values (symbolic base + offset interval) must be
+        translated to *absolute* address intervals before crossing the call
+        boundary: the callee's value analysis has no notion of the caller's
+        bases, so passing the raw offset interval (e.g. ``[0, 0]`` for
+        ``&global``) would make callee memory accesses resolve to bogus
+        addresses outside every memory module — and be charged zero cycles,
+        undercutting the WCET bound.  Bases without a static address (the
+        caller's stack frame) are dropped entirely, which is sound: the
+        callee argument simply stays unknown.
+        """
+        if not value.bases:
+            return value.interval
+        absolute = Interval.bottom()
+        for base in value.bases:
+            if not (self.program.has_data(base) or self.program.has_function(base)):
+                return None
+            base_address = self.program.symbol_address(base)
+            absolute = absolute.join(value.interval.add(Interval.const(base_address)))
+        return absolute
 
     def _resolve_infeasible(
         self, name: str, cfg: ControlFlowGraph, annotations: AnnotationSet

@@ -157,9 +157,16 @@ class IPETBuilder:
             back_edges = set(loop.back_edges)
             for tail, head in back_edges:
                 expression.add_term(_edge_variable(tail, head), 1.0)
+            # A natural loop is entered through its header; an irreducible
+            # cycle through any of its entry nodes.  Anchoring the constraint
+            # on the header alone would find no entry edge for a cycle whose
+            # external predecessors all target a different entry — forcing
+            # zero iterations and undercutting the bound.
+            entry_nodes = loop.entries or {loop.header}
             entry_edges_of_loop = [
-                (pred, loop.header)
-                for pred in self.cfg.predecessors(loop.header)
+                (pred, node)
+                for node in sorted(entry_nodes)
+                for pred in self.cfg.predecessors(node)
                 if pred not in loop.blocks
             ]
             if not entry_edges_of_loop:

@@ -1,0 +1,217 @@
+"""Coverage for :mod:`repro.analysis.liveness` and
+:mod:`repro.analysis.reachability` — hand-written edge cases plus structural
+invariants checked on CFGs of *generated* programs (the differential
+harness's generator doubles as a CFG fuzzer here).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.reachability import find_unreachable_code
+from repro.analysis.value import ValueAnalysis
+from repro.cfg.loops import find_loops
+from repro.cfg.reconstruct import reconstruct_program
+from repro.ir import Interpreter
+from repro.ir.asmparser import parse_assembly
+from repro.minic import compile_source
+from repro.testing import generate_case, render_case
+
+#: Seeds whose generated CFGs the invariants are checked on.
+CFG_SEEDS = [2, 5, 13, 29, 41]
+
+
+def _generated_cfgs(seed):
+    case = generate_case(seed)
+    rendered = render_case(case)
+    program = compile_source(rendered.source, entry=case.entry)
+    cfgs, issues = reconstruct_program(
+        program, hints=rendered.annotations.control_flow_hints, strict=False
+    )
+    assert not issues, f"seed {seed}: generated programs decode without hints"
+    return program, cfgs
+
+
+def _use_def(block):
+    uses, defs = set(), set()
+    for instr in block.instructions:
+        for register in instr.used_registers():
+            if register not in defs:
+                uses.add(register)
+        defined = instr.defined_register()
+        if defined is not None:
+            defs.add(defined)
+    return uses, defs
+
+
+class TestLivenessInvariants:
+    @pytest.mark.parametrize("seed", CFG_SEEDS)
+    def test_dataflow_equations_hold_on_generated_cfgs(self, seed):
+        """live_in = use ∪ (live_out − def); live_out = ∪ live_in(succ)."""
+        _, cfgs = _generated_cfgs(seed)
+        for name, cfg in cfgs.items():
+            result = compute_liveness(cfg)
+            for block_id in cfg.node_ids():
+                expected_out = set()
+                for successor in cfg.successors(block_id):
+                    expected_out |= set(result.live_in.get(successor, frozenset()))
+                assert result.live_out[block_id] == frozenset(expected_out), (
+                    f"{name}:{block_id:#x}"
+                )
+                uses, defs = _use_def(cfg.block(block_id))
+                expected_in = uses | (set(result.live_out[block_id]) - defs)
+                assert result.live_in[block_id] == frozenset(expected_in), (
+                    f"{name}:{block_id:#x}"
+                )
+
+    @pytest.mark.parametrize("seed", CFG_SEEDS)
+    def test_dead_stores_define_registers_and_are_not_loads_or_calls(self, seed):
+        _, cfgs = _generated_cfgs(seed)
+        for cfg in cfgs.values():
+            result = compute_liveness(cfg)
+            for instr in result.dead_stores:
+                assert instr.defined_register() is not None
+                assert not instr.is_call
+                assert not instr.is_load
+
+
+class TestLivenessHandWritten:
+    def test_overwritten_register_is_a_dead_store(self):
+        program = parse_assembly(
+            """
+            .func main
+                mov r3, 5
+                mov r3, 7
+                add r4, r3, 1
+                halt
+            """
+        )
+        cfgs, _ = reconstruct_program(program)
+        result = compute_liveness(cfgs["main"])
+        dead = [
+            (i.opcode.value, getattr(i.operands[0], "value", None))
+            for i in result.dead_stores
+        ]
+        assert ("mov", 5) in dead, "the overwritten value is a dead store"
+        assert ("mov", 7) not in dead, "the value consumed by the add is live"
+
+    def test_value_live_across_a_diamond(self):
+        program = parse_assembly(
+            """
+            .func main
+                mov r3, 1
+                mov r4, 0
+                seq r5, r3, 1
+                bt r5, take
+                add r4, r4, 1
+                br join
+            take:
+                add r4, r4, 2
+            join:
+                mov r3, r4
+                halt
+            """
+        )
+        cfgs, _ = reconstruct_program(program)
+        cfg = cfgs["main"]
+        result = compute_liveness(cfg)
+        join_block = cfg.block_containing(
+            next(i.address for i in program.functions["main"].instructions if i.label == "join")
+        )
+        # r4 flows into the join from both arms.
+        for pred in cfg.predecessors(join_block.id):
+            assert "r4" in result.live_out.get(pred, frozenset())
+        assert result.is_live_at_entry(join_block.id, "r4")
+
+    def test_loop_counter_is_live_around_the_back_edge(self, counter_loop_program):
+        cfgs, _ = reconstruct_program(counter_loop_program)
+        cfg = cfgs["main"]
+        loops = find_loops(cfg)
+        assert loops.loops, "the fixture program has a loop"
+        result = compute_liveness(cfg)
+        header = loops.loops[0].header
+        assert result.is_live_at_entry(header, "r4"), "the counter register"
+
+
+class TestReachabilityHandWritten:
+    def test_code_after_the_final_branch_is_structurally_unreachable(self):
+        program = parse_assembly(
+            """
+            .func main
+                mov r3, 1
+                br done
+                add r3, r3, 1
+                add r3, r3, 2
+            done:
+                halt
+            """
+        )
+        cfgs, _ = reconstruct_program(program)
+        result = find_unreachable_code(cfgs["main"])
+        assert result.has_unreachable_code
+        assert result.structurally_unreachable
+        assert result.dead_instruction_count >= 2
+        assert not result.semantically_unreachable
+
+    def test_constant_false_branch_is_semantically_unreachable(self):
+        program = compile_source(
+            """
+            int main(void) {
+                int x = 1;
+                if (0) {
+                    x = 100;
+                }
+                return x;
+            }
+            """
+        )
+        cfgs, _ = reconstruct_program(program)
+        cfg = cfgs["main"]
+        loops = find_loops(cfg)
+        values = ValueAnalysis(program, cfg, loops).run()
+        result = find_unreachable_code(cfg, values)
+        assert result.semantically_unreachable, "the if(0) body never executes"
+
+    def test_fully_reachable_function_reports_nothing(self, counter_loop_program):
+        cfgs, _ = reconstruct_program(counter_loop_program)
+        result = find_unreachable_code(cfgs["main"])
+        assert not result.has_unreachable_code
+        assert result.all_unreachable() == []
+        assert result.dead_instruction_count == 0
+
+
+class TestReachabilityOnGeneratedCFGs:
+    @pytest.mark.parametrize("seed", CFG_SEEDS)
+    def test_unreachable_blocks_never_execute(self, seed):
+        """Differential check: statically unreachable blocks stay unexecuted."""
+        case = generate_case(seed)
+        rendered = render_case(case)
+        program = compile_source(rendered.source, entry=case.entry)
+        cfgs, _ = reconstruct_program(
+            program, hints=rendered.annotations.control_flow_hints, strict=False
+        )
+        execution = Interpreter(program, max_steps=case.max_steps).run(case.entry)
+        executed = set(execution.trace.instruction_addresses)
+        for name, cfg in cfgs.items():
+            loops = find_loops(cfg)
+            values = ValueAnalysis(program, cfg, loops).run()
+            result = find_unreachable_code(cfg, values)
+            for block_id in result.all_unreachable():
+                for address in cfg.block(block_id).addresses():
+                    assert address not in executed, (
+                        f"seed {seed} {name}: {address:#x} reported unreachable "
+                        "but present in the concrete trace"
+                    )
+
+    @pytest.mark.parametrize("seed", CFG_SEEDS)
+    def test_structural_reachability_matches_cfg_walk(self, seed):
+        _, cfgs = _generated_cfgs(seed)
+        for cfg in cfgs.values():
+            result = find_unreachable_code(cfg)
+            reachable = cfg.reachable_from_entry()
+            for block_id in cfg.node_ids():
+                if block_id in reachable:
+                    assert block_id not in result.structurally_unreachable
+                else:
+                    assert block_id in result.structurally_unreachable
