@@ -34,7 +34,7 @@ def _wrap_signed32(value: int) -> int:
     return value - 0x1_0000_0000 if value > INT32_MAX else value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Interval:
     """A (possibly unbounded) integer interval ``[lo, hi]``.
 

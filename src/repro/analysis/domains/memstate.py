@@ -28,7 +28,7 @@ from repro.ir.instructions import Opcode
 STACK_BASE = "__sp__"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbstractValue:
     """Abstract content of a register or memory cell.
 
@@ -97,6 +97,11 @@ class AbstractValue:
     # Lattice
     # ------------------------------------------------------------------ #
     def join(self, other: "AbstractValue") -> "AbstractValue":
+        if self is other:
+            # Copy-on-write states share AbstractValue instances, so joining a
+            # value with itself is the norm at join points; both operands are
+            # frozen, making the identity answer exact.
+            return self
         if self.is_bottom:
             return other
         if other.is_bottom:
@@ -108,6 +113,8 @@ class AbstractValue:
         )
 
     def widen(self, other: "AbstractValue") -> "AbstractValue":
+        if self is other:
+            return self
         if self.is_bottom:
             return other
         if other.is_bottom:
@@ -119,6 +126,8 @@ class AbstractValue:
         )
 
     def includes(self, other: "AbstractValue") -> bool:
+        if self is other:
+            return True
         if other.is_bottom:
             return True
         if self.is_bottom:
@@ -163,11 +172,15 @@ class AbstractValue:
         return text
 
 
+#: Shared top value — AbstractValue is frozen, so one instance serves all
+#: "unknown register" reads without a fresh allocation per lookup.
+_TOP_VALUE = AbstractValue(Interval(None, None))
+
 #: A predicate fact operand: a register name or an integer constant.
 FactOperand = Tuple[str, Union[str, int]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PredicateFact:
     """``register := lhs <relation> rhs`` — recorded at compare instructions."""
 
@@ -187,14 +200,33 @@ class AbstractMemory:
     Cells are addressed by ``(base, offset)`` where ``base`` is a data-object
     name, a function name or :data:`STACK_BASE` and ``offset`` is a byte
     offset that must be a known constant for a strong update.
+
+    The cell map is *copy-on-write*: :meth:`copy` shares it between the
+    original and the clone in O(1), and the first mutation of either side
+    materialises a private dict.  The value analysis copies the whole state
+    on every block transfer, branch split and predicated instruction, but
+    mutates memory far more rarely — sharing turns the dominant cost of those
+    copies (O(cells) dict duplication) into a pointer assignment.
     """
+
+    __slots__ = ("_cells", "_owned")
 
     def __init__(self, cells: Optional[Dict[Tuple[str, int], AbstractValue]] = None):
         self._cells: Dict[Tuple[str, int], AbstractValue] = dict(cells or {})
+        self._owned = True
 
     # ------------------------------------------------------------------ #
     def copy(self) -> "AbstractMemory":
-        return AbstractMemory(self._cells)
+        clone = AbstractMemory.__new__(AbstractMemory)
+        clone._cells = self._cells
+        clone._owned = False
+        self._owned = False
+        return clone
+
+    def _materialize(self) -> None:
+        if not self._owned:
+            self._cells = dict(self._cells)
+            self._owned = True
 
     def cells(self) -> Dict[Tuple[str, int], AbstractValue]:
         return dict(self._cells)
@@ -210,44 +242,70 @@ class AbstractMemory:
         return self._cells.get((base, offset), AbstractValue.top())
 
     def store_strong(self, base: str, offset: int, value: AbstractValue) -> None:
+        self._materialize()
         self._cells[(base, offset)] = value
 
     def store_weak(self, base: str, value: AbstractValue) -> None:
         """Weak update: the store may hit any cell of ``base``."""
-        for key in list(self._cells):
-            if key[0] == base:
-                self._cells[key] = self._cells[key].join(value)
+        keys = [key for key in self._cells if key[0] == base]
+        if not keys:
+            return
+        self._materialize()
+        for key in keys:
+            self._cells[key] = self._cells[key].join(value)
 
     def clobber_base(self, base: str) -> None:
         """Forget everything known about cells of ``base``."""
-        for key in list(self._cells):
-            if key[0] == base:
-                del self._cells[key]
+        if not any(key[0] == base for key in self._cells):
+            return
+        self._cells = {
+            key: value for key, value in self._cells.items() if key[0] != base
+        }
+        self._owned = True
 
     def clobber_all(self, keep_bases: Iterable[str] = ()) -> None:
         """Forget all cells except those with a base in ``keep_bases``."""
         keep = set(keep_bases)
-        for key in list(self._cells):
-            if key[0] not in keep:
-                del self._cells[key]
+        if all(key[0] in keep for key in self._cells):
+            return
+        self._cells = {
+            key: value for key, value in self._cells.items() if key[0] in keep
+        }
+        self._owned = True
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _adopt(cells: Dict[Tuple[str, int], AbstractValue]) -> "AbstractMemory":
+        """Wrap an already-private cell dict without copying it."""
+        memory = AbstractMemory.__new__(AbstractMemory)
+        memory._cells = cells
+        memory._owned = True
+        return memory
+
     def join(self, other: "AbstractMemory") -> "AbstractMemory":
+        if self._cells is other._cells:
+            # Shared (copy-on-write) cell map: joining it with itself is the
+            # identity; hand out another sharing wrapper.
+            return self.copy()
         result: Dict[Tuple[str, int], AbstractValue] = {}
+        other_cells = other._cells
         for key, value in self._cells.items():
-            if key in other._cells:
-                result[key] = value.join(other._cells[key])
-        return AbstractMemory(result)
+            if key in other_cells:
+                result[key] = value.join(other_cells[key])
+        return AbstractMemory._adopt(result)
 
     def widen(self, other: "AbstractMemory") -> "AbstractMemory":
         result: Dict[Tuple[str, int], AbstractValue] = {}
+        other_cells = other._cells
         for key, value in self._cells.items():
-            if key in other._cells:
-                result[key] = value.widen(other._cells[key])
-        return AbstractMemory(result)
+            if key in other_cells:
+                result[key] = value.widen(other_cells[key])
+        return AbstractMemory._adopt(result)
 
     def includes(self, other: "AbstractMemory") -> bool:
         """True if ``other`` is at least as precise as ``self`` on self's cells."""
+        if self._cells is other._cells:
+            return True
         for key, value in self._cells.items():
             if key not in other._cells:
                 return False
@@ -269,7 +327,15 @@ class AbstractMemory:
 
 
 class AbstractState:
-    """Register file + memory + predicate facts at one program point."""
+    """Register file + memory + predicate facts at one program point.
+
+    Like :class:`AbstractMemory`, the register and fact maps are
+    copy-on-write: :meth:`copy` is O(1) and the first mutation of either copy
+    materialises a private dict.  All mutation goes through the methods below
+    — never assign into :attr:`registers`/:attr:`facts` directly.
+    """
+
+    __slots__ = ("_registers", "_facts", "memory", "reachable", "_regs_owned", "_facts_owned")
 
     def __init__(
         self,
@@ -278,77 +344,149 @@ class AbstractState:
         facts: Optional[Dict[str, PredicateFact]] = None,
         reachable: bool = True,
     ):
-        self.registers: Dict[str, AbstractValue] = dict(registers or {})
+        self._registers: Dict[str, AbstractValue] = dict(registers or {})
+        self._regs_owned = True
         self.memory: AbstractMemory = memory if memory is not None else AbstractMemory()
-        self.facts: Dict[str, PredicateFact] = dict(facts or {})
+        self._facts: Dict[str, PredicateFact] = dict(facts or {})
+        self._facts_owned = True
         #: False for the unreachable (bottom) state.
         self.reachable = reachable
 
     # ------------------------------------------------------------------ #
+    @property
+    def registers(self) -> Dict[str, AbstractValue]:
+        """The register map (read-only: mutate through :meth:`set`)."""
+        return self._registers
+
+    @property
+    def facts(self) -> Dict[str, PredicateFact]:
+        """The predicate-fact map (read-only: mutate through :meth:`set_fact`)."""
+        return self._facts
+
     @staticmethod
     def unreachable() -> "AbstractState":
         return AbstractState(reachable=False)
 
     def copy(self) -> "AbstractState":
-        return AbstractState(
-            registers=dict(self.registers),
-            memory=self.memory.copy(),
-            facts=dict(self.facts),
-            reachable=self.reachable,
-        )
+        clone = AbstractState.__new__(AbstractState)
+        clone._registers = self._registers
+        clone._regs_owned = False
+        self._regs_owned = False
+        clone._facts = self._facts
+        clone._facts_owned = False
+        self._facts_owned = False
+        clone.memory = self.memory.copy()
+        clone.reachable = self.reachable
+        return clone
+
+    def _own_registers(self) -> None:
+        if not self._regs_owned:
+            self._registers = dict(self._registers)
+            self._regs_owned = True
+
+    def _own_facts(self) -> None:
+        if not self._facts_owned:
+            self._facts = dict(self._facts)
+            self._facts_owned = True
 
     # ------------------------------------------------------------------ #
     def get(self, register: str) -> AbstractValue:
-        return self.registers.get(register, AbstractValue.top())
+        return self._registers.get(register, _TOP_VALUE)
 
     def set(self, register: str, value: AbstractValue) -> None:
         # Redefining a register kills every predicate fact that mentions it
         # and the fact stored for the register itself.
-        self.registers[register] = value
-        self.facts.pop(register, None)
-        for holder in list(self.facts):
-            if self.facts[holder].mentions_register(register):
-                del self.facts[holder]
+        self._own_registers()
+        self._registers[register] = value
+        facts = self._facts
+        if facts:
+            self._own_facts()
+            facts = self._facts
+            facts.pop(register, None)
+            for holder in list(facts):
+                if facts[holder].mentions_register(register):
+                    del facts[holder]
+
+    def replace_value(self, register: str, value: AbstractValue) -> None:
+        """Overwrite a register *without* killing predicate facts.
+
+        Used by branch refinement, which narrows a register's interval while
+        the facts mentioning it remain valid (refinement only shrinks the
+        concretisation, it does not redefine the register).
+        """
+        self._own_registers()
+        self._registers[register] = value
 
     def set_fact(self, register: str, fact: PredicateFact) -> None:
-        self.facts[register] = fact
+        self._own_facts()
+        self._facts[register] = fact
 
     def havoc_registers(self, registers: Iterable[str]) -> None:
         for register in registers:
-            self.set(register, AbstractValue.top())
+            self.set(register, _TOP_VALUE)
 
     # ------------------------------------------------------------------ #
     # Lattice operations
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _adopt(
+        registers: Dict[str, AbstractValue],
+        memory: AbstractMemory,
+        facts: Dict[str, PredicateFact],
+    ) -> "AbstractState":
+        """Wrap already-private dicts without copying them."""
+        state = AbstractState.__new__(AbstractState)
+        state._registers = registers
+        state._regs_owned = True
+        state.memory = memory
+        state._facts = facts
+        state._facts_owned = True
+        state.reachable = True
+        return state
+
     def join(self, other: "AbstractState") -> "AbstractState":
         if not self.reachable:
             return other.copy()
         if not other.reachable:
             return self.copy()
+        self_registers = self._registers
+        other_registers = other._registers
         registers: Dict[str, AbstractValue] = {}
-        for name in set(self.registers) | set(other.registers):
-            registers[name] = self.get(name).join(other.get(name))
+        for name, value in self_registers.items():
+            other_value = other_registers.get(name, _TOP_VALUE)
+            registers[name] = value.join(other_value)
+        for name, value in other_registers.items():
+            if name not in self_registers:
+                registers[name] = _TOP_VALUE.join(value)
+        other_facts = other._facts
         facts = {
             reg: fact
-            for reg, fact in self.facts.items()
-            if other.facts.get(reg) == fact
+            for reg, fact in self._facts.items()
+            if other_facts.get(reg) == fact
         }
-        return AbstractState(registers, self.memory.join(other.memory), facts)
+        return AbstractState._adopt(registers, self.memory.join(other.memory), facts)
 
     def widen(self, other: "AbstractState") -> "AbstractState":
         if not self.reachable:
             return other.copy()
         if not other.reachable:
             return self.copy()
+        self_registers = self._registers
+        other_registers = other._registers
         registers: Dict[str, AbstractValue] = {}
-        for name in set(self.registers) | set(other.registers):
-            registers[name] = self.get(name).widen(other.get(name))
+        for name, value in self_registers.items():
+            other_value = other_registers.get(name, _TOP_VALUE)
+            registers[name] = value.widen(other_value)
+        for name, value in other_registers.items():
+            if name not in self_registers:
+                registers[name] = _TOP_VALUE.widen(value)
+        other_facts = other._facts
         facts = {
             reg: fact
-            for reg, fact in self.facts.items()
-            if other.facts.get(reg) == fact
+            for reg, fact in self._facts.items()
+            if other_facts.get(reg) == fact
         }
-        return AbstractState(registers, self.memory.widen(other.memory), facts)
+        return AbstractState._adopt(registers, self.memory.widen(other.memory), facts)
 
     def includes(self, other: "AbstractState") -> bool:
         """True if ``self`` over-approximates ``other`` (fixpoint check)."""
@@ -356,16 +494,13 @@ class AbstractState:
             return True
         if not self.reachable:
             return False
-        for name, value in self.registers.items():
+        for name, value in self._registers.items():
             if not value.includes(other.get(name)):
                 # self constrains `name` more than other does -> not an
                 # over-approximation
                 return False
         # Registers not mentioned in self are top there, always including other.
-        for name in other.registers:
-            if name not in self.registers:
-                continue
-        if not set(self.facts.items()) <= set(other.facts.items()):
+        if not set(self._facts.items()) <= set(other._facts.items()):
             return False
         return self.memory.includes(other.memory)
 

@@ -6,14 +6,31 @@ analysis and by the abstract cache analyses.  Widening is applied at the
 designated *widening points* (loop headers) once a node has been revisited
 ``widen_after`` times, which guarantees termination for infinite-height
 domains such as intervals.
+
+Scheduling
+----------
+
+Pending nodes are kept in a binary heap keyed by their position in a
+Bourdoncle-style weak topological order (:mod:`repro.analysis.wto`), so every
+pop selects the earliest unstable node in O(log n).  Because inner-loop nodes
+precede everything after the loop in the linearization, an unstable inner
+component is re-iterated to its local fixpoint before any of its states
+propagate outward — the recommended chaotic-iteration strategy for
+interval-style domains.  (The seed implementation achieved the same
+evaluation *order* by re-sorting the whole worklist on every pop, at
+O(n log n) per pop; the heap keeps the order, and therefore all results,
+bit-identical while removing the re-sort.)
 """
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generic, Hashable, Iterable, List, Optional, Set, TypeVar
+from typing import Callable, Dict, Generic, Iterable, List, Optional, Set, TypeVar
 
 from repro.errors import AnalysisError
+from repro.analysis.wto import WeakTopologicalOrder
 from repro.cfg.graph import ENTRY, EXIT, ControlFlowGraph
 
 State = TypeVar("State")
@@ -53,7 +70,11 @@ class ForwardSolver(Generic[State]):
         Factory for the unreachable state.
     widening_points:
         Node ids at which widening (rather than join) is applied after
-        ``widen_after`` visits — typically the loop headers.
+        ``widen_after`` visits — typically the loop headers.  Defaults to the
+        WTO component heads when a WTO is supplied.
+    wto:
+        Precomputed weak topological order used as the scheduling priority;
+        computed from the CFG when omitted.
     max_iterations:
         Hard safety limit on total node evaluations.
     """
@@ -69,6 +90,7 @@ class ForwardSolver(Generic[State]):
         widening_points: Optional[Iterable[int]] = None,
         widen_after: int = 2,
         max_iterations: int = 100_000,
+        wto: Optional[WeakTopologicalOrder] = None,
     ):
         self.cfg = cfg
         self.transfer = transfer
@@ -76,6 +98,9 @@ class ForwardSolver(Generic[State]):
         self.widen = widen
         self.includes = includes
         self.bottom = bottom
+        self.wto = wto
+        if widening_points is None and wto is not None:
+            widening_points = wto.heads
         self.widening_points: Set[int] = set(widening_points or ())
         self.widen_after = widen_after
         self.max_iterations = max_iterations
@@ -89,18 +114,30 @@ class ForwardSolver(Generic[State]):
         entry_block = cfg.entry_block
         block_in[entry_block] = entry_state
 
-        # Process blocks in reverse postorder for fast convergence.
-        order = cfg.reverse_postorder()
-        priority = {node: index for index, node in enumerate(order)}
-        worklist: List[int] = [entry_block]
-        in_worklist: Set[int] = {entry_block}
+        # Scheduling priority: WTO position (reverse postorder linearization).
+        if self.wto is not None:
+            position = self.wto.positions
+        else:
+            position = {
+                node: index for index, node in enumerate(cfg.reverse_postorder())
+            }
+        fallback = len(position)
+
+        # Min-heap of (position, node); `pending` mirrors heap membership so a
+        # node is never queued twice.
+        heap: List[tuple] = [(position.get(entry_block, fallback), entry_block)]
+        pending: Set[int] = {entry_block}
+
+        widening_points = self.widening_points
+        widen_after = self.widen_after
+        includes = self.includes
+        transfer = self.transfer
+        edge_out = result.edge_out
 
         iterations = 0
-        while worklist:
-            # Pop the block with the smallest reverse-postorder index.
-            worklist.sort(key=lambda node: priority.get(node, len(priority)))
-            block = worklist.pop(0)
-            in_worklist.discard(block)
+        while heap:
+            _, block = heapq.heappop(heap)
+            pending.discard(block)
 
             iterations += 1
             if iterations > self.max_iterations:
@@ -112,10 +149,10 @@ class ForwardSolver(Generic[State]):
             in_state = block_in.get(block)
             if in_state is None:
                 continue
-            out_states = self.transfer(block, in_state)
+            out_states = transfer(block, in_state)
 
             for successor, out_state in out_states.items():
-                result.edge_out[(block, successor)] = out_state
+                edge_out[(block, successor)] = out_state
                 if successor == EXIT:
                     continue
                 old = block_in.get(successor)
@@ -123,23 +160,24 @@ class ForwardSolver(Generic[State]):
                     block_in[successor] = out_state
                     changed = True
                 else:
-                    if self.includes(old, out_state):
+                    if includes(old, out_state):
                         changed = False
-                        new_state = old
                     else:
                         visits[successor] = visits.get(successor, 0) + 1
                         if (
-                            successor in self.widening_points
-                            and visits[successor] >= self.widen_after
+                            successor in widening_points
+                            and visits[successor] >= widen_after
                         ):
                             new_state = self.widen(old, out_state)
                         else:
                             new_state = self.join(old, out_state)
                         block_in[successor] = new_state
                         changed = True
-                if changed and successor not in in_worklist:
-                    worklist.append(successor)
-                    in_worklist.add(successor)
+                if changed and successor not in pending:
+                    heapq.heappush(
+                        heap, (position.get(successor, fallback), successor)
+                    )
+                    pending.add(successor)
 
         result.block_in = block_in
         result.iterations = iterations
@@ -154,14 +192,13 @@ def solve_backward(
     initial: Callable[[], State],
     max_iterations: int = 100_000,
 ) -> Dict[int, State]:
-    """Simple backward fixpoint (used by liveness); returns per-block OUT states."""
-    block_out: Dict[int, State] = {node: initial() for node in cfg.node_ids()}
+    """Simple backward fixpoint (used by liveness); returns per-block IN states."""
     block_in: Dict[int, State] = {node: initial() for node in cfg.node_ids()}
-    worklist = list(reversed(cfg.reverse_postorder()))
+    worklist = deque(reversed(cfg.reverse_postorder()))
     in_worklist = set(worklist)
     iterations = 0
     while worklist:
-        block = worklist.pop(0)
+        block = worklist.popleft()
         in_worklist.discard(block)
         iterations += 1
         if iterations > max_iterations:
@@ -171,7 +208,6 @@ def solve_backward(
             if successor == EXIT:
                 continue
             out_state = join(out_state, block_in[successor])
-        block_out[block] = out_state
         new_in = transfer(block, out_state)
         if not equal(new_in, block_in[block]):
             block_in[block] = new_in

@@ -31,6 +31,7 @@ from repro.analysis.domains.memstate import (
     PredicateFact,
 )
 from repro.analysis.fixpoint import ForwardSolver
+from repro.analysis.wto import compute_wto
 from repro.cfg.graph import EXIT, BasicBlock, ControlFlowGraph
 from repro.cfg.loops import LoopForest, find_loops
 from repro.ir.instructions import (
@@ -153,6 +154,13 @@ class ValueAnalysis:
         self.widen_after = widen_after
         self.max_iterations = max_iterations
         self._recording: Optional[Dict[int, AccessInfo]] = None
+        # Per-instruction transfer closures, compiled on first use.  A block
+        # is re-interpreted once per fixpoint visit (typically 10-30 times),
+        # so resolving opcode dispatch, operand kinds and immediate abstract
+        # values once per instruction instead of once per application pays for
+        # itself many times over.
+        self._appliers_by_block: Dict[int, list] = {}
+        self._applier_by_address: Dict[int, object] = {}
 
     # ------------------------------------------------------------------ #
     # Entry state
@@ -184,6 +192,7 @@ class ValueAnalysis:
             widening_points=self.loops.headers(),
             widen_after=self.widen_after,
             max_iterations=self.max_iterations,
+            wto=compute_wto(self.cfg, self.loops),
         )
         fixpoint = solver.solve(self.entry_state())
 
@@ -193,11 +202,15 @@ class ValueAnalysis:
         result.iterations = fixpoint.iterations
 
         # Final recording pass: replay each block on its converged entry state
-        # to collect the abstract addresses of all memory accesses.
+        # to collect the abstract addresses of all memory accesses.  Only the
+        # instruction effects matter here — edge propagation (branch
+        # refinement, per-successor copies) is skipped.
         self._recording = result.accesses
         for block_id, in_state in fixpoint.block_in.items():
             if in_state.reachable:
-                self._transfer(block_id, in_state)
+                state = in_state.copy()
+                for apply_instruction in self._appliers(block_id):
+                    state = apply_instruction(state)
         self._recording = None
 
         # Blocks never reached get explicit unreachable entry states.
@@ -231,26 +244,40 @@ class ValueAnalysis:
     # Block transfer
     # ------------------------------------------------------------------ #
     def _transfer(self, block_id: int, in_state: AbstractState) -> Dict[int, AbstractState]:
-        block = self.cfg.block(block_id)
         state = in_state.copy()
         if not state.reachable:
             return {succ: AbstractState.unreachable() for succ in self.cfg.successors(block_id)}
 
-        for instr in block.instructions:
-            state = self._apply_instruction(instr, state)
+        for apply_instruction in self._appliers(block_id):
+            state = apply_instruction(state)
 
-        return self._propagate(block, state)
+        return self._propagate(self.cfg.block(block_id), state)
+
+    def _appliers(self, block_id: int) -> list:
+        appliers = self._appliers_by_block.get(block_id)
+        if appliers is None:
+            instructions = self.cfg.block(block_id).instructions
+            appliers = [self._compile_instruction(instr) for instr in instructions]
+            self._appliers_by_block[block_id] = appliers
+            for instr, applier in zip(instructions, appliers):
+                self._applier_by_address[instr.address] = applier
+        return appliers
 
     # ------------------------------------------------------------------ #
-    def _operand(self, operand, state: AbstractState) -> AbstractValue:
+    def _abstract_getter(self, operand):
+        """Compile one operand into a ``state -> AbstractValue`` accessor."""
         if isinstance(operand, Reg):
-            return state.get(operand.name)
+            name = operand.name
+            return lambda state: state.get(name)
         if isinstance(operand, Imm):
             if isinstance(operand.value, float):
-                return AbstractValue.float_value()
-            return AbstractValue.const(int(operand.value))
+                constant = AbstractValue.float_value()
+            else:
+                constant = AbstractValue.const(int(operand.value))
+            return lambda state: constant
         if isinstance(operand, Sym):
-            return AbstractValue.address(operand.name, Interval.const(0))
+            constant = AbstractValue.address(operand.name, Interval.const(0))
+            return lambda state: constant
         raise AnalysisError(f"unexpected operand {operand!r} in value analysis")
 
     @staticmethod
@@ -262,71 +289,121 @@ class ValueAnalysis:
         return ("other", None)
 
     def _apply_instruction(self, instr: Instruction, state: AbstractState) -> AbstractState:
+        applier = self._applier_by_address.get(instr.address)
+        if applier is None:
+            applier = self._compile_instruction(instr)
+            self._applier_by_address[instr.address] = applier
+        return applier(state)
+
+    def _compile_instruction(self, instr: Instruction):
+        """Compile one instruction into a ``state -> state`` transfer closure."""
+        apply_unpredicated = self._compile_unpredicated(instr)
         if instr.pred is not None:
             # A predicated instruction may or may not take effect: the result
             # is the join of both outcomes.
-            skipped = state.copy()
-            taken = self._apply_unpredicated(instr, state.copy())
-            return skipped.join(taken)
-        return self._apply_unpredicated(instr, state)
+            def apply_predicated(state: AbstractState) -> AbstractState:
+                skipped = state.copy()
+                taken = apply_unpredicated(state.copy())
+                return skipped.join(taken)
+            return apply_predicated
+        return apply_unpredicated
 
-    def _apply_unpredicated(self, instr: Instruction, state: AbstractState) -> AbstractState:
+    def _compile_unpredicated(self, instr: Instruction):
         op = instr.opcode
-        if op in (Opcode.NOP, Opcode.HALT, Opcode.RET, Opcode.BR, Opcode.IBR):
-            return state
-        if op in (Opcode.BT, Opcode.BF):
-            return state
+        if op in _NO_EFFECT_OPCODES:
+            return _identity
         if op in (Opcode.CALL, Opcode.ICALL):
-            return self._apply_call(state)
+            return self._apply_call
 
         dest = instr.dest.name if instr.dest is not None else None
-        get = lambda index: self._operand(instr.operands[index], state)
 
         if op is Opcode.MOV:
-            state.set(dest, get(0))
-            return state
+            get = self._abstract_getter(instr.operands[0])
+
+            def apply_mov(state: AbstractState) -> AbstractState:
+                state.set(dest, get(state))
+                return state
+            return apply_mov
+
         if op is Opcode.LA:
-            symbol = instr.operands[0]
-            state.set(dest, AbstractValue.address(symbol.name, Interval.const(0)))
-            return state
+            constant = AbstractValue.address(instr.operands[0].name, Interval.const(0))
+
+            def apply_la(state: AbstractState) -> AbstractState:
+                state.set(dest, constant)
+                return state
+            return apply_la
 
         if op in _ARITH_HANDLERS:
-            a = get(0)
-            b = get(1)
-            state.set(dest, _ARITH_HANDLERS[op](a, b))
-            return state
-        if op is Opcode.NOT:
-            state.set(dest, AbstractValue(get(0).interval.bit_not()))
-            return state
-        if op is Opcode.NEG:
-            state.set(dest, AbstractValue(get(0).interval.neg()))
-            return state
+            compute = _ARITH_HANDLERS[op]
+            get_a = self._abstract_getter(instr.operands[0])
+            get_b = self._abstract_getter(instr.operands[1])
+
+            def apply_arith(state: AbstractState) -> AbstractState:
+                state.set(dest, compute(get_a(state), get_b(state)))
+                return state
+            return apply_arith
+
+        if op in (Opcode.NOT, Opcode.NEG):
+            get = self._abstract_getter(instr.operands[0])
+            negate = op is Opcode.NEG
+
+            def apply_unary(state: AbstractState) -> AbstractState:
+                interval = get(state).interval
+                state.set(
+                    dest,
+                    AbstractValue(interval.neg() if negate else interval.bit_not()),
+                )
+                return state
+            return apply_unary
 
         if op in _COMPARE_HANDLERS:
-            a = get(0)
-            b = get(1)
-            value = AbstractValue(_COMPARE_HANDLERS[op](a, b))
-            state.set(dest, value)
+            compute = _COMPARE_HANDLERS[op]
+            get_a = self._abstract_getter(instr.operands[0])
+            get_b = self._abstract_getter(instr.operands[1])
             lhs = self._fact_operand(instr.operands[0])
             rhs = self._fact_operand(instr.operands[1])
-            if lhs[0] != "other" and rhs[0] != "other" and not (a.is_float or b.is_float):
-                state.set_fact(dest, PredicateFact(op, lhs, rhs))
-            return state
+            fact = None
+            if lhs[0] != "other" and rhs[0] != "other":
+                fact = PredicateFact(op, lhs, rhs)
+
+            def apply_compare(state: AbstractState) -> AbstractState:
+                a = get_a(state)
+                b = get_b(state)
+                state.set(dest, AbstractValue(compute(a, b)))
+                if fact is not None and not (a.is_float or b.is_float):
+                    state.set_fact(dest, fact)
+                return state
+            return apply_compare
 
         if op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FNEG, Opcode.ITOF):
-            state.set(dest, AbstractValue.float_value())
-            return state
-        if op is Opcode.FTOI:
-            state.set(dest, AbstractValue.top())
-            return state
-        if op in (Opcode.FSEQ, Opcode.FSNE, Opcode.FSLT, Opcode.FSLE):
-            state.set(dest, AbstractValue(Interval(0, 1)))
-            return state
+            constant = AbstractValue.float_value()
+        elif op is Opcode.FTOI:
+            constant = AbstractValue.top()
+        elif op in (Opcode.FSEQ, Opcode.FSNE, Opcode.FSLT, Opcode.FSLE):
+            constant = AbstractValue(Interval(0, 1))
+        else:
+            constant = None
+        if constant is not None:
+            def apply_constant(state: AbstractState) -> AbstractState:
+                state.set(dest, constant)
+                return state
+            return apply_constant
 
         if op in (Opcode.LOAD, Opcode.LOADB):
-            return self._apply_load(instr, state)
+            get_pointer = self._abstract_getter(instr.operands[0])
+
+            def apply_load(state: AbstractState) -> AbstractState:
+                return self._apply_load(instr, get_pointer(state), state)
+            return apply_load
         if op in (Opcode.STORE, Opcode.STOREB):
-            return self._apply_store(instr, state)
+            get_value = self._abstract_getter(instr.operands[0])
+            get_pointer = self._abstract_getter(instr.operands[1])
+
+            def apply_store(state: AbstractState) -> AbstractState:
+                return self._apply_store(
+                    instr, get_value(state), get_pointer(state), state
+                )
+            return apply_store
 
         raise AnalysisError(f"value analysis: unhandled opcode {op.value!r}")
 
@@ -343,12 +420,15 @@ class ValueAnalysis:
         self, pointer: AbstractValue, byte_offset: int
     ) -> Tuple[FrozenSet[str], Interval, Interval, bool]:
         """Return (bases, per-base offset interval, absolute interval, unknown)."""
-        offset = pointer.interval.add(Interval.const(byte_offset))
+        if byte_offset:
+            offset = pointer.interval.add(Interval.const(byte_offset))
+        else:
+            offset = pointer.interval
         if pointer.bases:
             absolute = Interval.bottom()
             for base in pointer.bases:
                 if base == STACK_BASE:
-                    base_abs = Interval.range(STACK_TOP - STACK_SIZE, STACK_TOP)
+                    base_abs = _STACK_ABSOLUTE
                 elif self.program.has_data(base):
                     base_abs = offset.add(Interval.const(self.program.data(base).address))
                 elif self.program.has_function(base):
@@ -389,8 +469,9 @@ class ValueAnalysis:
             unknown=unknown,
         )
 
-    def _apply_load(self, instr: Instruction, state: AbstractState) -> AbstractState:
-        pointer = self._operand(instr.operands[0], state)
+    def _apply_load(
+        self, instr: Instruction, pointer: AbstractValue, state: AbstractState
+    ) -> AbstractState:
         bases, offset, absolute, unknown = self._resolve_access(pointer, instr.offset)
         self._record_access(instr, bases, offset, absolute, unknown)
         value = AbstractValue.top()
@@ -404,9 +485,13 @@ class ValueAnalysis:
         state.set(instr.dest.name, value)
         return state
 
-    def _apply_store(self, instr: Instruction, state: AbstractState) -> AbstractState:
-        value = self._operand(instr.operands[0], state)
-        pointer = self._operand(instr.operands[1], state)
+    def _apply_store(
+        self,
+        instr: Instruction,
+        value: AbstractValue,
+        pointer: AbstractValue,
+        state: AbstractState,
+    ) -> AbstractState:
         bases, offset, absolute, unknown = self._resolve_access(pointer, instr.offset)
         self._record_access(instr, bases, offset, absolute, unknown)
         if instr.opcode is Opcode.STOREB:
@@ -489,17 +574,19 @@ class ValueAnalysis:
             false_state = fall_state if branch_on_true else taken_state
             if true_state.reachable:
                 refined = true_state.get(condition.name).interval.refine_ne(Interval.const(0))
-                true_state.registers[condition.name] = true_state.get(
-                    condition.name
-                ).with_interval(refined)
+                true_state.replace_value(
+                    condition.name,
+                    true_state.get(condition.name).with_interval(refined),
+                )
             if false_state.reachable:
                 refined = false_state.get(condition.name).interval.meet(Interval.const(0))
                 if refined.is_bottom:
                     false_state.reachable = False
                 else:
-                    false_state.registers[condition.name] = false_state.get(
-                        condition.name
-                    ).with_interval(refined)
+                    false_state.replace_value(
+                        condition.name,
+                        false_state.get(condition.name).with_interval(refined),
+                    )
 
         if taken_target is not None:
             result[taken_target] = taken_state
@@ -530,8 +617,7 @@ class ValueAnalysis:
             if interval.is_bottom:
                 state.reachable = False
                 return
-            current = state.get(payload)
-            state.registers[payload] = current.with_interval(interval)
+            state.replace_value(payload, state.get(payload).with_interval(interval))
 
         lhs = value_of(fact.lhs)
         rhs = value_of(fact.rhs)
@@ -593,6 +679,20 @@ class ValueAnalysis:
 
 def _unsigned_ok(a: AbstractValue, b: AbstractValue) -> bool:
     return a.interval.is_nonnegative() and b.interval.is_nonnegative()
+
+
+#: Absolute address interval of the stack region (shared constant).
+_STACK_ABSOLUTE = Interval.range(STACK_TOP - STACK_SIZE, STACK_TOP)
+
+#: Opcodes with no effect on the abstract state (control flow is handled by
+#: edge propagation, not by the instruction transfer).
+_NO_EFFECT_OPCODES = frozenset(
+    {Opcode.NOP, Opcode.HALT, Opcode.RET, Opcode.BR, Opcode.IBR, Opcode.BT, Opcode.BF}
+)
+
+
+def _identity(state: AbstractState) -> AbstractState:
+    return state
 
 
 _ARITH_HANDLERS = {

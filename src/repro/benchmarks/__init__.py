@@ -1,0 +1,248 @@
+"""The tracked performance baseline: ``python -m repro.benchmarks``.
+
+This package owns the repo's *perf trajectory*.  It runs a fixed macro
+workload —
+
+* the flight-control task analysed on two processor models in every operating
+  mode, and the message handler analysed on both models (the "analysis" half),
+* a 50-seed differential sweep through the full compile → analyze → replay
+  oracle (the "sweep" half),
+
+— measures phase-level wall-clock time, and appends the result to
+``BENCH_perf.json`` at the repo root.  Every performance-affecting PR appends
+one entry, so speedups and regressions stay visible across the repo's history,
+and CI replays the workload to catch >20% wall-clock regressions.
+
+Each entry also records an *identity block* (entry WCET/BCET bounds and a
+checksum over every sweep program's bounds).  Two entries with equal identity
+blocks computed the exact same analysis results — which is how the benchmark
+doubles as an end-to-end equivalence guard when engine internals are rebuilt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.processor import leon2_like, simple_scalar
+from repro.testing.oracle import OracleConfig
+from repro.testing.sweep import SweepResult, run_sweep
+from repro.wcet import WCETAnalyzer
+from repro.workloads import flight_control, message_handler
+
+#: Seeds of the sweep half of the macro workload (fixed forever: entries in
+#: BENCH_perf.json are only comparable if every PR measures the same work).
+SWEEP_SEEDS = tuple(range(1, 51))
+#: Input vectors per swept program.
+SWEEP_INPUT_VECTORS = 4
+#: How often the analysis half is repeated (analyses are fast relative to the
+#: sweep; repeating keeps their share of the total measurable).
+ANALYSIS_REPEATS = 5
+
+
+def machine_fingerprint() -> str:
+    """Coarse identity of the measuring machine.
+
+    Wall-clock numbers are only comparable between runs on similar hardware;
+    the regression check refuses to compare a laptop measurement against a
+    CI-runner measurement (the identity checksum, by contrast, is
+    machine-independent and always compared).
+    """
+    return f"{platform.machine()}-cpu{os.cpu_count()}-py{platform.python_version()}"
+
+
+@dataclass
+class BenchmarkRecord:
+    """One measured run of the macro workload."""
+
+    label: str
+    timestamp: str
+    total_seconds: float
+    phases: Dict[str, float]
+    identity: Dict[str, object]
+    workload: Dict[str, int]
+    jobs: int = 1
+    python: str = field(default_factory=platform.python_version)
+    machine: str = field(default_factory=machine_fingerprint)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "timestamp": self.timestamp,
+            "python": self.python,
+            "machine": self.machine,
+            "jobs": self.jobs,
+            "total_seconds": round(self.total_seconds, 4),
+            "phases": {name: round(value, 4) for name, value in sorted(self.phases.items())},
+            "identity": self.identity,
+            "workload": self.workload,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# The two halves of the macro workload
+# --------------------------------------------------------------------------- #
+def run_analysis_half(repeats: int = ANALYSIS_REPEATS):
+    """Analyse the two paper workloads; return (reports, phase_seconds, wall)."""
+    started = time.perf_counter()
+    phase_totals: Dict[str, float] = {}
+    reports = {}
+    for _ in range(repeats):
+        reports = {}
+        fc_program = flight_control.program()
+        fc_annotations = flight_control.annotations()
+        mh_program = message_handler.program()
+        mh_annotations = message_handler.annotations()
+        for proc_name, factory in (("simple", simple_scalar), ("leon2", leon2_like)):
+            for mode in (None, "ground", "air"):
+                report = WCETAnalyzer(
+                    fc_program, factory(), annotations=fc_annotations
+                ).analyze(mode=mode)
+                reports[f"flight_control/{proc_name}/{mode or 'all'}"] = report
+            report = WCETAnalyzer(
+                mh_program, factory(), annotations=mh_annotations
+            ).analyze()
+            reports[f"message_handler/{proc_name}"] = report
+        for report in reports.values():
+            for phase, seconds in report.phase_seconds().items():
+                key = f"analysis.{phase}"
+                phase_totals[key] = phase_totals.get(key, 0.0) + seconds
+    wall = time.perf_counter() - started
+    phase_totals["analysis.wall"] = wall
+    return reports, phase_totals, wall
+
+
+def run_sweep_half(jobs: int = 1) -> SweepResult:
+    """The 50-seed differential sweep of the macro workload."""
+    config = OracleConfig(max_input_vectors=SWEEP_INPUT_VECTORS)
+    return run_sweep(SWEEP_SEEDS, config, jobs=jobs)
+
+
+def sweep_checksum(sweep: SweepResult) -> str:
+    """Checksum over every swept program's (wcet, bcet) pair."""
+    digest = hashlib.sha256()
+    for name, (wcet, bcet) in sorted(sweep.bounds_by_case().items()):
+        digest.update(f"{name}:{wcet}:{bcet}\n".encode())
+    return digest.hexdigest()[:16]
+
+
+def run_macro_workload(label: str, jobs: int = 1) -> BenchmarkRecord:
+    """Run the full macro workload once and package the measurement."""
+    started = time.perf_counter()
+    reports, phases, _ = run_analysis_half()
+    sweep = run_sweep_half(jobs=jobs)
+    total = time.perf_counter() - started
+
+    phases["sweep.wall"] = sweep.seconds
+    for phase, seconds in sweep.phase_seconds().items():
+        phases[f"sweep.{phase}"] = seconds
+
+    identity: Dict[str, object] = {
+        "sweep_checksum": sweep_checksum(sweep),
+        "sweep_violations": sum(len(r.violations) for r in sweep.results),
+    }
+    for key in ("flight_control/simple/all", "flight_control/simple/air",
+                "flight_control/leon2/all", "message_handler/simple",
+                "message_handler/leon2"):
+        report = reports[key]
+        identity[f"{key}.wcet"] = report.wcet_cycles
+        identity[f"{key}.bcet"] = report.bcet_cycles
+
+    workload = {
+        "analyses": len(reports) * ANALYSIS_REPEATS,
+        "analysis_repeats": ANALYSIS_REPEATS,
+        "sweep_programs": len(SWEEP_SEEDS),
+        "sweep_runs": sweep.total_runs,
+    }
+    return BenchmarkRecord(
+        label=label,
+        timestamp=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        total_seconds=total,
+        phases=phases,
+        identity=identity,
+        workload=workload,
+        jobs=jobs,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# BENCH_perf.json bookkeeping
+# --------------------------------------------------------------------------- #
+def load_history(path: str) -> Dict[str, object]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return {
+            "schema": 1,
+            "workload": (
+                "macro: flight_control+message_handler analyses "
+                f"(x{ANALYSIS_REPEATS}) + {len(SWEEP_SEEDS)}-seed differential sweep"
+            ),
+            "entries": [],
+        }
+
+
+def append_record(path: str, record: BenchmarkRecord) -> Dict[str, object]:
+    history = load_history(path)
+    history["entries"].append(record.to_json())
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+    return history
+
+
+def check_regression(
+    path: str, record: BenchmarkRecord, max_regression: float = 0.20
+) -> Optional[str]:
+    """Compare ``record`` against the committed trajectory.
+
+    Two independent checks:
+
+    * **identity** — against the *latest* entry regardless of machine: the
+      sweep checksum is machine-independent, and a perf PR must not silently
+      change analysis results;
+    * **wall clock** — against the latest entry measured on the *same
+      machine fingerprint* (comparing a laptop's seconds against a CI
+      runner's would fail spuriously).  Without a comparable baseline the
+      wall-clock check is skipped; the uploaded measurement then seeds one.
+
+    Returns an error message on failure, else ``None``.
+    """
+    history = load_history(path)
+    entries: List[Dict] = history.get("entries", [])
+    if not entries:
+        return None
+    problems = []
+
+    latest = entries[-1]
+    latest_checksum = latest.get("identity", {}).get("sweep_checksum")
+    if latest_checksum and latest_checksum != record.identity["sweep_checksum"]:
+        problems.append(
+            "analysis results changed: sweep checksum "
+            f"{record.identity['sweep_checksum']} != baseline {latest_checksum}"
+        )
+
+    baseline = next(
+        (
+            entry
+            for entry in reversed(entries)
+            if entry.get("machine") == record.machine
+        ),
+        None,
+    )
+    if baseline is not None:
+        limit = baseline["total_seconds"] * (1.0 + max_regression)
+        if record.total_seconds > limit:
+            problems.append(
+                f"wall-clock regression: {record.total_seconds:.2f}s vs baseline "
+                f"{baseline['total_seconds']:.2f}s "
+                f"(limit {limit:.2f}s = +{max_regression:.0%}, "
+                f"machine {record.machine})"
+            )
+    return "; ".join(problems) or None

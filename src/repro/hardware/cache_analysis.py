@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.analysis.domains.interval import Interval
 from repro.analysis.value import AccessInfo
 from repro.analysis.fixpoint import ForwardSolver
+from repro.analysis.wto import compute_wto
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.loops import LoopForest, find_loops
 from repro.hardware.cache import CacheConfig
@@ -216,6 +217,7 @@ class _AbstractCacheAnalysis:
             includes=lambda old, new: old.includes(new),
             bottom=lambda: MustMayCacheState(self.config),
             widening_points=self.loops.headers(),
+            wto=compute_wto(self.cfg, self.loops),
         )
         fixpoint = solver.solve(MustMayCacheState(self.config))
         result = CacheAnalysisResult(self.cfg.function_name, self.config)

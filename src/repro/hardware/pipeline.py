@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.analysis.domains.interval import Interval
 from repro.analysis.value import AccessInfo
 from repro.cfg.graph import BasicBlock
 from repro.hardware.cache import CacheConfig, CacheStatistics, LRUCacheSimulator
@@ -57,6 +56,14 @@ class PipelineModel:
 
     def __init__(self, processor: ProcessorConfig):
         self.processor = processor
+        # Configuration-derived constants, resolved once instead of per
+        # instruction (code_fetch_latency/slowest_module scan the memory map).
+        self._code_fetch_latency = processor.code_fetch_latency()
+        slowest = processor.memory_map.slowest_module()
+        self._slowest_latency = max(slowest.read_latency, slowest.write_latency)
+        #: address -> (base cycles, is memory access, branch best, branch worst);
+        #: all static per instruction, resolved once per model.
+        self._static_parts: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # Per-instruction costs
@@ -68,7 +75,7 @@ class PipelineModel:
         self, instruction: Instruction, icache_class: Optional[CacheClassification]
     ) -> Tuple[int, int]:
         """(best, worst) fetch cost of one instruction."""
-        miss_cost = self.processor.code_fetch_latency()
+        miss_cost = self._code_fetch_latency
         hit_cost = self.processor.icache_hit_cycles
         if self.processor.icache is None:
             return miss_cost, miss_cost
@@ -89,9 +96,7 @@ class PipelineModel:
             return 0, 0
         if access is None:
             # Nothing known: assume the slowest module in the worst case.
-            slowest = self.processor.memory_map.slowest_module()
-            worst = max(slowest.read_latency, slowest.write_latency)
-            return self.processor.dcache_hit_cycles, worst
+            return self.processor.dcache_hit_cycles, self._slowest_latency
         best_lat, worst_lat, may_be_cached = self.processor.memory_map.latency_bounds(
             access.absolute, access.is_load
         )
@@ -127,17 +132,30 @@ class PipelineModel:
         dcache_classes = dcache_classes or {}
         accesses = accesses or {}
 
+        static_parts = self._static_parts
+
         wcet = bcet = 0
         fetch_total = compute_total = memory_total = branch_total = 0
         for instr in block.instructions:
+            address = instr.address
+            parts = static_parts.get(address)
+            if parts is None:
+                parts = (
+                    self.base_cost(instr),
+                    instr.is_memory_access,
+                    *self.branch_cost_bounds(instr),
+                )
+                static_parts[address] = parts
+            base, is_memory, branch_best, branch_worst = parts
             fetch_best, fetch_worst = self.fetch_cost_bounds(
-                instr, icache_classes.get(instr.address)
+                instr, icache_classes.get(address)
             )
-            base = self.base_cost(instr)
-            mem_best, mem_worst = self.memory_cost_bounds(
-                instr, accesses.get(instr.address), dcache_classes.get(instr.address)
-            )
-            branch_best, branch_worst = self.branch_cost_bounds(instr)
+            if is_memory:
+                mem_best, mem_worst = self.memory_cost_bounds(
+                    instr, accesses.get(address), dcache_classes.get(address)
+                )
+            else:
+                mem_best = mem_worst = 0
             wcet += fetch_worst + base + mem_worst + branch_worst
             bcet += fetch_best + base + mem_best + branch_best
             fetch_total += fetch_worst
@@ -166,59 +184,102 @@ class TraceTimingResult:
 
 
 class TraceTimer:
-    """Replay an interpreter trace through concrete caches and count cycles."""
+    """Replay an interpreter trace through concrete caches and count cycles.
+
+    The per-instruction *static* cost ingredients (base cost, memory-access
+    and control-transfer classification) depend only on the program and the
+    processor, so they are precomputed once per timer into an address-indexed
+    table; per-address memory-module lookups are memoised the same way.
+    Construct one timer per (processor, program) pair and call :meth:`time`
+    for every trace — the concrete cache simulators are fresh per call.
+    """
 
     def __init__(self, processor: ProcessorConfig, program: Program):
         self.processor = processor
         self.program = program
         program.ensure_layout()
+        #: address -> (base cycles, is memory access, pays transfer penalty,
+        #: is conditional branch)
+        self._static_costs: Optional[Dict[int, tuple]] = None
+        #: data address -> (read latency, write latency, goes through dcache)
+        self._module_info: Dict[int, tuple] = {}
+
+    def _build_static_costs(self) -> Dict[int, tuple]:
+        table: Dict[int, tuple] = {}
+        latency_of = self.processor.latency_of
+        transfer_classes = (OpClass.BRANCH, OpClass.CALL, OpClass.RETURN)
+        for function in self.program:
+            for instr in function.instructions:
+                op_class = instr.op_class
+                table[instr.address] = (
+                    latency_of(op_class),
+                    instr.is_memory_access,
+                    op_class in transfer_classes,
+                    instr.is_conditional_branch,
+                )
+        self._static_costs = table
+        return table
+
+    def _module_info_for(self, address: int) -> tuple:
+        info = self._module_info.get(address)
+        if info is None:
+            module = self.processor.memory_map.module_for(address)
+            if module is not None:
+                info = (module.read_latency, module.write_latency, module.cached)
+            else:
+                slowest = self.processor.memory_map.slowest_module()
+                worst = max(slowest.read_latency, slowest.write_latency)
+                info = (worst, worst, False)
+            self._module_info[address] = info
+        return info
 
     def time(self, trace: ExecutionTrace) -> TraceTimingResult:
         processor = self.processor
-        model = PipelineModel(processor)
         icache = LRUCacheSimulator(processor.icache) if processor.icache else None
         dcache = LRUCacheSimulator(processor.dcache) if processor.dcache else None
         code_latency = processor.code_fetch_latency()
+        icache_hit_cycles = processor.icache_hit_cycles
+        dcache_hit_cycles = processor.dcache_hit_cycles
+        branch_penalty = processor.branch_penalty
+
+        costs = self._static_costs
+        if costs is None:
+            costs = self._build_static_costs()
+        module_info = self._module_info_for
 
         cycles = 0
         access_index = 0
         accesses = trace.memory_accesses
+        num_accesses = len(accesses)
         addresses = trace.instruction_addresses
+        num_addresses = len(addresses)
 
         for position, address in enumerate(addresses):
-            instr = self.program.instruction_at(address)
+            base, is_memory, pays_transfer, is_conditional = costs[address]
 
             # --- fetch ------------------------------------------------- #
             if icache is not None:
                 hit = icache.access(address, INSTRUCTION_SIZE)
-                cycles += processor.icache_hit_cycles if hit else code_latency
+                cycles += icache_hit_cycles if hit else code_latency
             else:
                 cycles += code_latency
 
             # --- execute ------------------------------------------------ #
-            cycles += model.base_cost(instr)
+            cycles += base
 
             # --- data memory -------------------------------------------- #
-            if instr.is_memory_access:
+            if is_memory:
                 if (
-                    access_index < len(accesses)
+                    access_index < num_accesses
                     and accesses[access_index].instruction_address == address
                 ):
                     access = accesses[access_index]
                     access_index += 1
-                    module = processor.memory_map.module_for(access.address)
-                    latency_interval = Interval.const(access.address)
-                    best, worst = 0, 0
-                    if module is not None:
-                        latency = (
-                            module.read_latency if access.is_load else module.write_latency
-                        )
-                    else:
-                        slowest = processor.memory_map.slowest_module()
-                        latency = max(slowest.read_latency, slowest.write_latency)
-                    if dcache is not None and module is not None and module.cached:
+                    read_latency, write_latency, cached = module_info(access.address)
+                    latency = read_latency if access.is_load else write_latency
+                    if dcache is not None and cached:
                         hit = dcache.access(access.address, access.size)
-                        cycles += processor.dcache_hit_cycles if hit else latency
+                        cycles += dcache_hit_cycles if hit else latency
                     else:
                         cycles += latency
                 # else: predicated access that did not take effect — only the
@@ -230,16 +291,16 @@ class TraceTimer:
             # to be the next sequential address — matching the static model,
             # which charges them unconditionally.  Conditional branches pay
             # only when they actually leave the fall-through path.
-            if instr.op_class in (OpClass.BRANCH, OpClass.CALL, OpClass.RETURN):
+            if pays_transfer:
                 taken = True
-                if instr.is_conditional_branch and position + 1 < len(addresses):
+                if is_conditional and position + 1 < num_addresses:
                     taken = addresses[position + 1] != address + INSTRUCTION_SIZE
                 if taken:
-                    cycles += processor.branch_penalty
+                    cycles += branch_penalty
 
         return TraceTimingResult(
             cycles=cycles,
-            instructions=len(addresses),
+            instructions=num_addresses,
             icache_stats=icache.stats if icache else None,
             dcache_stats=dcache.stats if dcache else None,
         )

@@ -429,8 +429,16 @@ class Instruction:
         return None
 
     def with_address(self, address: int) -> "Instruction":
-        """Return a copy of the instruction placed at ``address``."""
-        return replace(self, address=address)
+        """Return a copy of the instruction placed at ``address``.
+
+        Bypasses :func:`dataclasses.replace` (which re-runs ``__init__`` and
+        field validation) — layout relocates every instruction of every
+        program, and the fields other than the address are copied verbatim.
+        """
+        clone = Instruction.__new__(Instruction)
+        clone.__dict__.update(self.__dict__)
+        clone.__dict__["address"] = address
+        return clone
 
     def with_label(self, label: str) -> "Instruction":
         return replace(self, label=label)
@@ -470,37 +478,10 @@ class Instruction:
         return " ".join(parts)
 
 
-def validate_instruction(instr: Instruction) -> None:
-    """Check structural well-formedness of an instruction.
-
-    Raises :class:`IRError` describing the first problem found.  The check is
-    deliberately strict: the analyses downstream rely on these invariants.
-    """
-    op = instr.opcode
-    if op in (Opcode.BR,):
-        if not any(isinstance(o, Label) for o in instr.operands):
-            raise IRError("br requires a label operand")
-    if op in CONDITIONAL_BRANCHES:
-        has_label = any(isinstance(o, Label) for o in instr.operands)
-        has_reg = any(isinstance(o, Reg) for o in instr.operands)
-        if not (has_label and has_reg):
-            raise IRError(f"{op.value} requires a condition register and a label")
-    if op is Opcode.CALL and not any(isinstance(o, Sym) for o in instr.operands):
-        raise IRError("call requires a function symbol operand")
-    if op in (Opcode.ICALL, Opcode.IBR) and not any(
-        isinstance(o, Reg) for o in instr.operands
-    ):
-        raise IRError(f"{op.value} requires a register operand")
-    if op in (Opcode.LOAD, Opcode.LOADB):
-        if instr.dest is None:
-            raise IRError("load requires a destination register")
-        if not any(isinstance(o, Reg) for o in instr.operands):
-            raise IRError("load requires a base address register")
-    if op in (Opcode.STORE, Opcode.STOREB):
-        regs = [o for o in instr.operands if isinstance(o, Reg)]
-        if len(regs) < 2:
-            raise IRError("store requires a value register and a base register")
-    if op in (
+#: Frozen membership sets for the validator — hash lookups instead of the
+#: linear tuple scans this hot path used to pay per instruction.
+_BINARY_ALU_OPCODES = frozenset(
+    {
         Opcode.ADD,
         Opcode.SUB,
         Opcode.MUL,
@@ -514,18 +495,69 @@ def validate_instruction(instr: Instruction) -> None:
         Opcode.SHL,
         Opcode.SHR,
         Opcode.SRA,
-    ):
+    }
+)
+_UNARY_OPCODES = frozenset(
+    {Opcode.NOT, Opcode.NEG, Opcode.FNEG, Opcode.ITOF, Opcode.FTOI}
+)
+_INDIRECT_OPCODES = frozenset({Opcode.ICALL, Opcode.IBR})
+_LOAD_OPCODES = frozenset({Opcode.LOAD, Opcode.LOADB})
+_STORE_OPCODES = frozenset({Opcode.STORE, Opcode.STOREB})
+
+
+def validate_instruction(instr: Instruction) -> None:
+    """Check structural well-formedness of an instruction.
+
+    Raises :class:`IRError` describing the first problem found.  The check is
+    deliberately strict: the analyses downstream rely on these invariants.
+    """
+    op = instr.opcode
+    if op in _BINARY_ALU_OPCODES:
         if instr.dest is None or len(instr.operands) != 2:
             raise IRError(f"{op.value} requires a destination and two source operands")
-    if op in (Opcode.NOT, Opcode.NEG, Opcode.FNEG, Opcode.ITOF, Opcode.FTOI):
-        if instr.dest is None or len(instr.operands) != 1:
-            raise IRError(f"{op.value} requires a destination and one source operand")
+        return
     if op is Opcode.MOV:
         if instr.dest is None or len(instr.operands) != 1:
             raise IRError("mov requires a destination and one source operand")
+        return
+    if op in _LOAD_OPCODES:
+        if instr.dest is None:
+            raise IRError("load requires a destination register")
+        if not any(isinstance(o, Reg) for o in instr.operands):
+            raise IRError("load requires a base address register")
+        return
+    if op in _STORE_OPCODES:
+        regs = [o for o in instr.operands if isinstance(o, Reg)]
+        if len(regs) < 2:
+            raise IRError("store requires a value register and a base register")
+        return
+    if op in COMPARE_OPCODES:
+        if instr.dest is None or len(instr.operands) != 2:
+            raise IRError(f"{op.value} requires a destination and two source operands")
+        return
+    if op is Opcode.BR:
+        if not any(isinstance(o, Label) for o in instr.operands):
+            raise IRError("br requires a label operand")
+        return
+    if op in CONDITIONAL_BRANCHES:
+        has_label = any(isinstance(o, Label) for o in instr.operands)
+        has_reg = any(isinstance(o, Reg) for o in instr.operands)
+        if not (has_label and has_reg):
+            raise IRError(f"{op.value} requires a condition register and a label")
+        return
+    if op is Opcode.CALL:
+        if not any(isinstance(o, Sym) for o in instr.operands):
+            raise IRError("call requires a function symbol operand")
+        return
+    if op in _INDIRECT_OPCODES:
+        if not any(isinstance(o, Reg) for o in instr.operands):
+            raise IRError(f"{op.value} requires a register operand")
+        return
+    if op in _UNARY_OPCODES:
+        if instr.dest is None or len(instr.operands) != 1:
+            raise IRError(f"{op.value} requires a destination and one source operand")
+        return
     if op is Opcode.LA:
         if instr.dest is None or not any(isinstance(o, Sym) for o in instr.operands):
             raise IRError("la requires a destination register and a symbol")
-    if instr.is_compare:
-        if instr.dest is None or len(instr.operands) != 2:
-            raise IRError(f"{op.value} requires a destination and two source operands")
+        return

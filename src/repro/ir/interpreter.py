@@ -177,6 +177,14 @@ class _Frame:
 class Interpreter:
     """Executes a laid-out :class:`~repro.ir.program.Program`.
 
+    The program is *pre-decoded* at construction: every instruction is
+    compiled into a small Python closure that performs exactly its
+    architectural effect and returns the control transfer (if any).  The main
+    loop is then one dict lookup plus one call per executed instruction —
+    no per-step opcode dispatch, operand classification or label resolution.
+    Constructing one interpreter and calling :meth:`run` many times (as the
+    differential oracle does per input vector) amortises the decode to zero.
+
     Parameters
     ----------
     program:
@@ -199,6 +207,15 @@ class Interpreter:
         self.program = program
         self.max_steps = max_steps
         self.trace_instructions = trace_instructions
+        #: address -> (predicate register name or None, step closure).
+        self._decoded: Dict[int, tuple] = {}
+        for function in program:
+            labels = function.label_addresses()
+            for instr in function.instructions:
+                self._decoded[instr.address] = (
+                    instr.pred.name if instr.pred is not None else None,
+                    self._compile(instr, function, labels),
+                )
 
     # ------------------------------------------------------------------ #
     def run(
@@ -249,48 +266,49 @@ class Interpreter:
         trace.call_counts[name] = 1
         frames: List[_Frame] = []
         pc = function.entry_address
-        current_function = function
         steps = 0
         halted = False
-        label_cache: Dict[str, Dict[str, int]] = {}
+
+        # Local bindings for the hot loop.
+        decoded = self._decoded
+        max_steps = self.max_steps
+        trace_instructions = self.trace_instructions
+        record = trace.instruction_addresses.append
+        block_counts = trace.block_counts
+        registers = state.registers
+        to_int = self._int
 
         while True:
-            if steps >= self.max_steps:
+            if steps >= max_steps:
                 raise ExecutionError(
                     f"execution exceeded {self.max_steps} steps (diverging program?)"
                 )
-            if not (
-                current_function.entry_address
-                <= pc
-                < current_function.end_address
-            ):
-                current_function = self.program.function_at(pc)
-            instr = current_function.instruction_at(pc)
+            entry = decoded.get(pc)
+            if entry is None:
+                # Outside every function: raise the canonical lookup error.
+                self.program.function_at(pc).instruction_at(pc)
+                raise ExecutionError(f"cannot decode instruction at {pc:#x}")
             steps += 1
-            if self.trace_instructions:
-                trace.record_instruction(pc)
-            trace.block_counts[pc] = trace.block_counts.get(pc, 0) + 1
+            if trace_instructions:
+                record(pc)
+            block_counts[pc] = block_counts.get(pc, 0) + 1
 
-            next_pc = pc + INSTRUCTION_SIZE
-            take_effect = True
-            if instr.pred is not None:
-                take_effect = self._int(state.get_register(instr.pred.name)) != 0
-
-            if take_effect:
-                control = self._execute(
-                    instr, state, trace, current_function, label_cache, frames, pc
-                )
-                if control is _HALT:
-                    halted = True
+            pred_name, step = entry
+            if pred_name is not None and to_int(registers[pred_name]) == 0:
+                pc += INSTRUCTION_SIZE
+                continue
+            control = step(state, trace, frames)
+            if control is None:
+                pc += INSTRUCTION_SIZE
+            elif control is _HALT:
+                halted = True
+                break
+            elif control is _RETURN:
+                if not frames:
                     break
-                if control is _RETURN:
-                    if not frames:
-                        break
-                    frame = frames.pop()
-                    next_pc = frame.return_address
-                elif control is not None:
-                    next_pc = control
-            pc = next_pc
+                pc = frames.pop().return_address
+            else:
+                pc = control
 
         return ExecutionResult(
             return_value=self._int(state.get_register(RETURN_VALUE_REGISTER)),
@@ -302,7 +320,7 @@ class Interpreter:
         )
 
     # ------------------------------------------------------------------ #
-    # Instruction semantics
+    # Instruction semantics (decode-time compilation)
     # ------------------------------------------------------------------ #
     @staticmethod
     def _int(value: Number) -> int:
@@ -310,147 +328,233 @@ class Interpreter:
             return wrap32(int(value))
         return value
 
-    def _operand_value(self, operand, state: MachineState) -> Number:
+    def _getter(self, operand):
+        """Compile one operand into a ``state -> value`` accessor."""
         if isinstance(operand, Reg):
-            return state.get_register(operand.name)
+            name = operand.name
+            return lambda state: state.registers[name]
         if isinstance(operand, Imm):
-            return operand.value
+            value = operand.value
+            return lambda state: value
         if isinstance(operand, Sym):
-            return self.program.symbol_address(operand.name)
+            address = self.program.symbol_address(operand.name)
+            return lambda state: address
         raise ExecutionError(f"cannot evaluate operand {operand!r}")
 
-    def _execute(
-        self,
-        instr: Instruction,
-        state: MachineState,
-        trace: ExecutionTrace,
-        function,
-        label_cache: Dict[str, Dict[str, int]],
-        frames: List[_Frame],
-        pc: int,
-    ):
+    def _compile(self, instr: Instruction, function, labels: Dict[str, int]):
+        """Compile one instruction into a ``(state, trace, frames)`` closure.
+
+        The closure performs the architectural effect (predication has
+        already been decided by the caller) and returns the control transfer:
+        ``None`` to fall through, a target address, or the ``_HALT`` /
+        ``_RETURN`` sentinels.
+        """
         op = instr.opcode
-        val = lambda index: self._operand_value(instr.operands[index], state)
+        program = self.program
+        to_int = self._int
 
         if op is Opcode.NOP:
-            return None
+            return lambda state, trace, frames: None
         if op is Opcode.HALT:
-            return _HALT
+            return lambda state, trace, frames: _HALT
+        if op is Opcode.RET:
+            return lambda state, trace, frames: _RETURN
+
         if op is Opcode.MOV:
-            state.set_register(instr.dest.name, val(0))
-            return None
+            dest = instr.dest.name
+            get = self._getter(instr.operands[0])
+
+            def step(state, trace, frames):
+                state.set_register(dest, get(state))
+                return None
+            return step
+
         if op is Opcode.LA:
-            symbol = instr.operands[0]
-            state.set_register(instr.dest.name, self.program.symbol_address(symbol.name))
-            return None
+            dest = instr.dest.name
+            address = program.symbol_address(instr.operands[0].name)
+
+            def step(state, trace, frames):
+                state.registers[dest] = address
+                return None
+            return step
 
         if op in _INT_BINOPS:
-            a = self._int(val(0))
-            b = self._int(val(1))
-            state.set_register(instr.dest.name, _INT_BINOPS[op](a, b))
-            return None
-        if op is Opcode.NOT:
-            state.set_register(instr.dest.name, wrap32(~self._int(val(0))))
-            return None
-        if op is Opcode.NEG:
-            state.set_register(instr.dest.name, wrap32(-self._int(val(0))))
-            return None
+            dest = instr.dest.name
+            compute = _INT_BINOPS[op]
+            get_a = self._getter(instr.operands[0])
+            get_b = self._getter(instr.operands[1])
+
+            def step(state, trace, frames):
+                state.registers[dest] = compute(
+                    to_int(get_a(state)), to_int(get_b(state))
+                )
+                return None
+            return step
+
+        if op in (Opcode.NOT, Opcode.NEG):
+            dest = instr.dest.name
+            get = self._getter(instr.operands[0])
+            negate = op is Opcode.NEG
+
+            def step(state, trace, frames):
+                value = to_int(get(state))
+                state.registers[dest] = wrap32(-value if negate else ~value)
+                return None
+            return step
 
         if op in _FLOAT_BINOPS:
-            a = float(val(0))
-            b = float(val(1))
-            state.set_register(instr.dest.name, _FLOAT_BINOPS[op](a, b))
-            return None
+            dest = instr.dest.name
+            compute = _FLOAT_BINOPS[op]
+            get_a = self._getter(instr.operands[0])
+            get_b = self._getter(instr.operands[1])
+
+            def step(state, trace, frames):
+                state.set_register(
+                    dest, compute(float(get_a(state)), float(get_b(state)))
+                )
+                return None
+            return step
+
         if op is Opcode.FNEG:
-            state.set_register(instr.dest.name, -float(val(0)))
-            return None
+            dest = instr.dest.name
+            get = self._getter(instr.operands[0])
+
+            def step(state, trace, frames):
+                state.registers[dest] = -float(get(state))
+                return None
+            return step
+
         if op is Opcode.ITOF:
-            state.set_register(instr.dest.name, float(self._int(val(0))))
-            return None
+            dest = instr.dest.name
+            get = self._getter(instr.operands[0])
+
+            def step(state, trace, frames):
+                state.registers[dest] = float(to_int(get(state)))
+                return None
+            return step
+
         if op is Opcode.FTOI:
-            state.set_register(instr.dest.name, wrap32(int(float(val(0)))))
-            return None
+            dest = instr.dest.name
+            get = self._getter(instr.operands[0])
+
+            def step(state, trace, frames):
+                state.registers[dest] = wrap32(int(float(get(state))))
+                return None
+            return step
 
         if op in (Opcode.LOAD, Opcode.LOADB):
-            base = self._int(val(0))
-            address = to_unsigned(base + instr.offset)
-            size = WORD_SIZE if op is Opcode.LOAD else 1
-            trace.record_access(
-                MemoryAccess(address=address, size=size, is_load=True, instruction_address=pc)
-            )
+            dest = instr.dest.name
+            get_base = self._getter(instr.operands[0])
+            offset = instr.offset
+            pc = instr.address
             if op is Opcode.LOAD:
-                state.set_register(instr.dest.name, state.load_word(address))
+                def step(state, trace, frames):
+                    address = to_unsigned(to_int(get_base(state)) + offset)
+                    trace.memory_accesses.append(
+                        MemoryAccess(address, WORD_SIZE, True, pc)
+                    )
+                    state.registers[dest] = state.load_word(address)
+                    return None
             else:
-                state.set_register(instr.dest.name, state.load_byte(address))
-            return None
-        if op in (Opcode.STORE, Opcode.STOREB):
-            value = val(0)
-            base = self._int(val(1))
-            address = to_unsigned(base + instr.offset)
-            size = WORD_SIZE if op is Opcode.STORE else 1
-            obj = self.program.data_object_at(address)
-            if obj is not None and obj.readonly:
-                raise ExecutionError(
-                    f"store to read-only data object {obj.name!r} at {address:#x}"
-                )
-            trace.record_access(
-                MemoryAccess(address=address, size=size, is_load=False, instruction_address=pc)
-            )
-            if op is Opcode.STORE:
-                state.store_word(address, value)
-            else:
-                state.store_byte(address, self._int(value))
-            return None
+                def step(state, trace, frames):
+                    address = to_unsigned(to_int(get_base(state)) + offset)
+                    trace.memory_accesses.append(MemoryAccess(address, 1, True, pc))
+                    state.registers[dest] = state.load_byte(address)
+                    return None
+            return step
 
-        if op is Opcode.BR:
-            return self._label_address(function, instr.branch_target(), label_cache)
-        if op in (Opcode.BT, Opcode.BF):
-            cond = self._int(val(0))
-            taken = (cond != 0) if op is Opcode.BT else (cond == 0)
-            if taken:
-                return self._label_address(function, instr.branch_target(), label_cache)
-            return None
+        if op in (Opcode.STORE, Opcode.STOREB):
+            get_value = self._getter(instr.operands[0])
+            get_base = self._getter(instr.operands[1])
+            offset = instr.offset
+            pc = instr.address
+            is_word = op is Opcode.STORE
+            size = WORD_SIZE if is_word else 1
+
+            def step(state, trace, frames):
+                value = get_value(state)
+                address = to_unsigned(to_int(get_base(state)) + offset)
+                obj = program.data_object_at(address)
+                if obj is not None and obj.readonly:
+                    raise ExecutionError(
+                        f"store to read-only data object {obj.name!r} at {address:#x}"
+                    )
+                trace.memory_accesses.append(MemoryAccess(address, size, False, pc))
+                if is_word:
+                    state.store_word(address, value)
+                else:
+                    state.store_byte(address, to_int(value))
+                return None
+            return step
+
+        if op in (Opcode.BR, Opcode.BT, Opcode.BF):
+            label = instr.branch_target()
+            if label is None:
+                def step(state, trace, frames):
+                    raise ExecutionError("branch without a label target")
+                return step
+            try:
+                target = labels[label]
+            except KeyError:
+                message = (
+                    f"undefined label {label!r} in function {function.name!r}"
+                )
+
+                def step(state, trace, frames):
+                    raise ExecutionError(message)
+                return step
+            if op is Opcode.BR:
+                return lambda state, trace, frames: target
+            get_cond = self._getter(instr.operands[0])
+            branch_if_true = op is Opcode.BT
+
+            def step(state, trace, frames):
+                taken = (to_int(get_cond(state)) != 0) == branch_if_true
+                return target if taken else None
+            return step
+
         if op is Opcode.IBR:
-            target = to_unsigned(self._int(val(0)))
-            return target
+            get = self._getter(instr.operands[0])
+            return lambda state, trace, frames: to_unsigned(to_int(get(state)))
+
         if op is Opcode.CALL:
             target_name = instr.call_target()
-            callee = self.program.function(target_name)
-            frames.append(_Frame(pc + INSTRUCTION_SIZE, function.name))
-            trace.call_counts[target_name] = trace.call_counts.get(target_name, 0) + 1
-            if len(frames) > 4096:
-                raise ExecutionError("call stack overflow (runaway recursion?)")
-            return callee.entry_address
+            entry = program.function(target_name).entry_address
+            return_address = instr.address + INSTRUCTION_SIZE
+            caller = function.name
+
+            def step(state, trace, frames):
+                frames.append(_Frame(return_address, caller))
+                counts = trace.call_counts
+                counts[target_name] = counts.get(target_name, 0) + 1
+                if len(frames) > 4096:
+                    raise ExecutionError("call stack overflow (runaway recursion?)")
+                return entry
+            return step
+
         if op is Opcode.ICALL:
-            target = to_unsigned(self._int(val(0)))
-            callee = self.program.function_by_entry(target)
-            if callee is None:
-                raise ExecutionError(
-                    f"indirect call to {target:#x}, which is not a function entry"
-                )
-            frames.append(_Frame(pc + INSTRUCTION_SIZE, function.name))
-            trace.call_counts[callee.name] = trace.call_counts.get(callee.name, 0) + 1
-            if len(frames) > 4096:
-                raise ExecutionError("call stack overflow (runaway recursion?)")
-            return callee.entry_address
-        if op is Opcode.RET:
-            return _RETURN
+            get = self._getter(instr.operands[0])
+            return_address = instr.address + INSTRUCTION_SIZE
+            caller = function.name
 
-        raise ExecutionError(f"unimplemented opcode {op.value!r}")
+            def step(state, trace, frames):
+                target = to_unsigned(to_int(get(state)))
+                callee = program.function_by_entry(target)
+                if callee is None:
+                    raise ExecutionError(
+                        f"indirect call to {target:#x}, which is not a function entry"
+                    )
+                frames.append(_Frame(return_address, caller))
+                counts = trace.call_counts
+                counts[callee.name] = counts.get(callee.name, 0) + 1
+                if len(frames) > 4096:
+                    raise ExecutionError("call stack overflow (runaway recursion?)")
+                return callee.entry_address
+            return step
 
-    def _label_address(self, function, label: Optional[str], cache) -> int:
-        if label is None:
-            raise ExecutionError("branch without a label target")
-        table = cache.get(function.name)
-        if table is None:
-            table = function.label_addresses()
-            cache[function.name] = table
-        try:
-            return table[label]
-        except KeyError as exc:
-            raise ExecutionError(
-                f"undefined label {label!r} in function {function.name!r}"
-            ) from exc
+        def step(state, trace, frames):
+            raise ExecutionError(f"unimplemented opcode {op.value!r}")
+        return step
 
 
 # Sentinels used by _execute to signal control transfers.

@@ -17,6 +17,7 @@ the hardware model (:mod:`repro.hardware.memory`).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -212,6 +213,17 @@ class Program:
         self._functions: Dict[str, Function] = {}
         self._data: Dict[str, DataObject] = {}
         self._laid_out = False
+        self._validated = False
+        # Address indexes (built by layout): O(1)/O(log n) lookups on the
+        # paths the interpreter and trace timer hit once per executed
+        # instruction.
+        self._instr_index: Dict[int, Instruction] = {}
+        self._function_starts: List[int] = []
+        self._functions_in_order: List[Function] = []
+        self._function_by_entry: Dict[int, Function] = {}
+        self._data_starts: List[int] = []
+        self._data_in_order: List[DataObject] = []
+        self._symbol_addresses: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -221,6 +233,7 @@ class Program:
             raise IRError(f"duplicate function {function.name!r}")
         self._functions[function.name] = function
         self._laid_out = False
+        self._validated = False
         return function
 
     def add_data(self, data: DataObject) -> DataObject:
@@ -228,6 +241,7 @@ class Program:
             raise IRError(f"duplicate data object {data.name!r}")
         self._data[data.name] = data
         self._laid_out = False
+        self._validated = False
         return data
 
     # ------------------------------------------------------------------ #
@@ -262,16 +276,17 @@ class Program:
     def symbol_address(self, name: str) -> int:
         """Address of a function or data symbol (after layout)."""
         self.ensure_layout()
-        if name in self._functions:
-            return self._functions[name].entry_address
-        if name in self._data:
-            return self._data[name].address
-        raise IRError(f"unknown symbol {name!r}")
+        address = self._symbol_addresses.get(name)
+        if address is None:
+            raise IRError(f"unknown symbol {name!r}")
+        return address
 
     def function_at(self, address: int) -> Function:
         """Function containing the given code address."""
         self.ensure_layout()
-        for function in self._functions.values():
+        index = bisect_right(self._function_starts, address) - 1
+        if index >= 0:
+            function = self._functions_in_order[index]
             if function.entry_address <= address < function.end_address:
                 return function
         raise IRError(f"no function contains address {address:#x}")
@@ -279,21 +294,25 @@ class Program:
     def function_by_entry(self, address: int) -> Optional[Function]:
         """Function whose entry point is exactly ``address`` (or ``None``)."""
         self.ensure_layout()
-        for function in self._functions.values():
-            if function.entry_address == address:
-                return function
-        return None
+        return self._function_by_entry.get(address)
 
     def data_object_at(self, address: int) -> Optional[DataObject]:
         """Data object containing ``address`` (or ``None``)."""
         self.ensure_layout()
-        for obj in self._data.values():
+        index = bisect_right(self._data_starts, address) - 1
+        if index >= 0:
+            obj = self._data_in_order[index]
             if obj.contains(address):
                 return obj
         return None
 
     def instruction_at(self, address: int) -> Instruction:
-        return self.function_at(address).instruction_at(address)
+        self.ensure_layout()
+        instruction = self._instr_index.get(address)
+        if instruction is None:
+            # Slow path reproduces the precise per-case error messages.
+            return self.function_at(address).instruction_at(address)
+        return instruction
 
     def entry_function(self) -> Function:
         return self.function(self.entry)
@@ -342,7 +361,29 @@ class Program:
                 obj.address = heap_address
                 heap_address += obj.size
 
+        self._build_indexes()
         self._laid_out = True
+
+    def _build_indexes(self) -> None:
+        """Address indexes for the per-instruction hot paths."""
+        self._instr_index = {
+            instr.address: instr
+            for function in self._functions.values()
+            for instr in function.instructions
+        }
+        ordered = sorted(self._functions.values(), key=lambda f: f.entry_address)
+        self._functions_in_order = ordered
+        self._function_starts = [f.entry_address for f in ordered]
+        self._function_by_entry = {f.entry_address: f for f in ordered}
+        data_ordered = sorted(self._data.values(), key=lambda d: d.address)
+        self._data_in_order = data_ordered
+        self._data_starts = [d.address for d in data_ordered]
+        self._symbol_addresses = {
+            name: function.entry_address for name, function in self._functions.items()
+        }
+        self._symbol_addresses.update(
+            (name, obj.address) for name, obj in self._data.items()
+        )
 
     @property
     def is_laid_out(self) -> bool:
@@ -353,7 +394,15 @@ class Program:
             self.layout()
 
     def validate(self) -> None:
-        """Validate every function and the entry point, then lay out."""
+        """Validate every function and the entry point, then lay out.
+
+        Validation is structural and the program is immutable once built (any
+        ``add_function``/``add_data`` resets the flag), so repeated calls —
+        one per interpreter construction in a differential sweep — are
+        answered from the cached verdict.
+        """
+        if self._validated and self._laid_out:
+            return
         if self.entry not in self._functions:
             raise IRError(f"entry function {self.entry!r} is not defined")
         for function in self._functions.values():
@@ -366,6 +415,7 @@ class Program:
                         f"{target!r}"
                     )
         self.ensure_layout()
+        self._validated = True
 
     # ------------------------------------------------------------------ #
     # Statistics & rendering

@@ -7,6 +7,7 @@ instructions (annotations and reports refer back to source lines).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -333,23 +334,60 @@ class CompilationUnit:
 _NON_CHILD_ATTRIBUTES = {"decl", "ctype"}
 
 
+#: Per-class cache of the attribute names a traversal must look at.  AST
+#: nodes are dataclasses, so their syntactic children always live in declared
+#: fields; the only dynamically attached attributes (``decl``, ``ctype``) are
+#: exactly the non-child references excluded from traversal.
+_CHILD_FIELD_CACHE: dict = {}
+
+_CHILD_TYPES = None  # resolved lazily: (Expr, Stmt, VarDecl, FunctionDef)
+
+
+def _child_fields(cls: type):
+    names = _CHILD_FIELD_CACHE.get(cls)
+    if names is None:
+        if dataclasses.is_dataclass(cls):
+            names = tuple(
+                f.name
+                for f in dataclasses.fields(cls)
+                if f.name not in _NON_CHILD_ATTRIBUTES
+            )
+        else:
+            names = None
+        _CHILD_FIELD_CACHE[cls] = names
+    return names
+
+
 def child_nodes(node: object) -> List[object]:
     """Immediate syntactic AST children of ``node``."""
+    global _CHILD_TYPES
+    if _CHILD_TYPES is None:
+        _CHILD_TYPES = (Expr, Stmt, VarDecl, FunctionDef)
+    child_types = _CHILD_TYPES
     children: List[object] = []
+    append = children.append
 
-    def maybe_add(value: object) -> None:
-        if isinstance(value, (Expr, Stmt, VarDecl, FunctionDef)):
-            children.append(value)
+    names = _child_fields(node.__class__)
+    if names is None:
+        # Non-dataclass object: fall back to instance-dict discovery.
+        if not hasattr(node, "__dict__"):
+            return children
+        names = tuple(
+            name for name in vars(node) if name not in _NON_CHILD_ATTRIBUTES
+        )
+    def add_from_list(values: list) -> None:
+        for item in values:
+            if isinstance(item, child_types):
+                append(item)
+            elif isinstance(item, list):
+                add_from_list(item)
+
+    for name in names:
+        value = getattr(node, name)
+        if isinstance(value, child_types):
+            append(value)
         elif isinstance(value, list):
-            for item in value:
-                maybe_add(item)
-
-    if not hasattr(node, "__dict__"):
-        return children
-    for name, attribute in vars(node).items():
-        if name in _NON_CHILD_ATTRIBUTES:
-            continue
-        maybe_add(attribute)
+            add_from_list(value)
     return children
 
 

@@ -40,7 +40,7 @@ class TokenKind(enum.Enum):
     EOF = "eof"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
     kind: TokenKind
     text: str
@@ -67,120 +67,104 @@ _PUNCTUATION = [
     "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
 ]
 
-_FLOAT_RE = re.compile(r"\d+\.\d*([eE][-+]?\d+)?[fF]?|\d+[eE][-+]?\d+[fF]?|\d+\.\d*")
-_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+[uUlL]*")
-_INT_RE = re.compile(r"\d+[uUlL]*")
-_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
-_STRING_RE = re.compile(r'"([^"\\]|\\.)*"')
+#: One master scanner: every lexeme class as a named alternative, tried in the
+#: order of the original hand-rolled loop (comments, strings, float before
+#: int, identifiers, then punctuation longest-first).  A single ``match`` call
+#: per token replaces the per-character probing of several separate patterns.
+_MASTER_RE = re.compile(
+    "|".join(
+        [
+            r"(?P<ws>[ \t\r]+)",
+            r"(?P<nl>\n)",
+            r"(?P<linecomment>//[^\n]*)",
+            r"(?P<blockcomment>/\*(?:[^*]|\*(?!/))*\*/)",
+            r"(?P<badcomment>/\*)",
+            r'(?P<string>"(?:[^"\\]|\\.)*")',
+            r"(?P<float>\d+\.\d*(?:[eE][-+]?\d+)?[fF]?|\d+[eE][-+]?\d+[fF]?)",
+            r"(?P<hex>0[xX][0-9a-fA-F]+[uUlL]*)",
+            r"(?P<int>\d+[uUlL]*)",
+            r"(?P<ident>[A-Za-z_]\w*)",
+            r"(?P<punct>" + "|".join(re.escape(p) for p in _PUNCTUATION) + ")",
+        ]
+    )
+)
+
+_KEYWORD = TokenKind.KEYWORD
+_IDENT = TokenKind.IDENT
+_INT = TokenKind.INT
+_FLOAT = TokenKind.FLOAT
+_PUNCT = TokenKind.PUNCT
+_STRING = TokenKind.STRING
 
 
 def tokenize(source: str) -> List[Token]:
     """Tokenize a mini-C source string; raises :class:`ParseError` on bad input."""
     tokens: List[Token] = []
+    append = tokens.append
+    match_at = _MASTER_RE.match
     line = 1
     column = 1
     index = 0
     length = len(source)
 
-    def error(message: str) -> ParseError:
-        return ParseError(message, line, column)
-
     while index < length:
-        char = source[index]
-
-        # Whitespace
-        if char in " \t\r":
-            index += 1
-            column += 1
-            continue
-        if char == "\n":
-            index += 1
-            line += 1
-            column = 1
-            continue
-
-        # Comments
-        if source.startswith("//", index):
-            end = source.find("\n", index)
-            index = length if end < 0 else end
-            continue
-        if source.startswith("/*", index):
-            end = source.find("*/", index + 2)
-            if end < 0:
-                raise error("unterminated block comment")
-            skipped = source[index : end + 2]
-            line += skipped.count("\n")
-            if "\n" in skipped:
-                column = len(skipped) - skipped.rfind("\n")
-            else:
-                column += len(skipped)
-            index = end + 2
-            continue
-
         # Preprocessor-style lines are ignored (the workloads use none, but
         # realistic sources may carry #include / #define headers).
-        if char == "#" and (column == 1):
+        if column == 1 and source[index] == "#":
             end = source.find("\n", index)
             index = length if end < 0 else end
             continue
 
-        # String literals (only used in comments/asserts of workloads).
-        match = _STRING_RE.match(source, index)
-        if match:
-            text = match.group(0)
-            tokens.append(Token(TokenKind.STRING, text, line, column, text[1:-1]))
-            index = match.end()
-            column += len(text)
-            continue
-
-        # Numbers: float before int so "1.5" is not split.
-        match = _FLOAT_RE.match(source, index)
-        if match and ("." in match.group(0) or "e" in match.group(0).lower()):
-            text = match.group(0)
-            tokens.append(
-                Token(TokenKind.FLOAT, text, line, column, float(text.rstrip("fF")))
+        match = match_at(source, index)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[index]!r}", line, column
             )
-            index = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        index = match.end()
+
+        if kind == "ws":
             column += len(text)
-            continue
-        match = _HEX_RE.match(source, index)
-        if match:
-            text = match.group(0)
-            tokens.append(
-                Token(TokenKind.INT, text, line, column, int(text.rstrip("uUlL"), 16))
+        elif kind == "nl":
+            line += 1
+            column = 1
+        elif kind == "ident":
+            append(
+                Token(
+                    _KEYWORD if text in KEYWORDS else _IDENT,
+                    text,
+                    line,
+                    column,
+                )
             )
-            index = match.end()
             column += len(text)
-            continue
-        match = _INT_RE.match(source, index)
-        if match:
-            text = match.group(0)
-            tokens.append(
-                Token(TokenKind.INT, text, line, column, int(text.rstrip("uUlL")))
-            )
-            index = match.end()
+        elif kind == "punct":
+            append(Token(_PUNCT, text, line, column))
             column += len(text)
-            continue
-
-        # Identifiers / keywords
-        match = _IDENT_RE.match(source, index)
-        if match:
-            text = match.group(0)
-            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
-            tokens.append(Token(kind, text, line, column))
-            index = match.end()
+        elif kind == "int":
+            append(Token(_INT, text, line, column, int(text.rstrip("uUlL"))))
             column += len(text)
-            continue
+        elif kind == "float":
+            append(Token(_FLOAT, text, line, column, float(text.rstrip("fF"))))
+            column += len(text)
+        elif kind == "hex":
+            append(Token(_INT, text, line, column, int(text.rstrip("uUlL"), 16)))
+            column += len(text)
+        elif kind == "linecomment":
+            column += len(text)
+        elif kind == "blockcomment":
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                column = len(text) - text.rfind("\n")
+            else:
+                column += len(text)
+        elif kind == "string":
+            append(Token(_STRING, text, line, column, text[1:-1]))
+            column += len(text)
+        else:  # badcomment
+            raise ParseError("unterminated block comment", line, column)
 
-        # Punctuation
-        for symbol in _PUNCTUATION:
-            if source.startswith(symbol, index):
-                tokens.append(Token(TokenKind.PUNCT, symbol, line, column))
-                index += len(symbol)
-                column += len(symbol)
-                break
-        else:
-            raise error(f"unexpected character {char!r}")
-
-    tokens.append(Token(TokenKind.EOF, "", line, column))
+    append(Token(TokenKind.EOF, "", line, column))
     return tokens

@@ -50,6 +50,7 @@ from repro.testing.oracle import (
 )
 from repro.testing.shrink import Shrinker, shrink_case
 from repro.testing.corpus import CorpusCase, default_corpus_dir, load_corpus, save_case
+from repro.testing.sweep import SweepResult, resolve_jobs, run_sweep
 
 __all__ = [
     "FeatureMix",
@@ -69,4 +70,7 @@ __all__ = [
     "default_corpus_dir",
     "load_corpus",
     "save_case",
+    "SweepResult",
+    "resolve_jobs",
+    "run_sweep",
 ]

@@ -14,13 +14,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 
 from repro.hardware.processor import hcs12x_like, leon2_like, mpc5554_like, simple_scalar
 from repro.testing.corpus import case_payload, load_corpus
 from repro.testing.generator import generate_case, render_case
 from repro.testing.oracle import DifferentialOracle, OracleConfig
 from repro.testing.shrink import Shrinker
+from repro.testing.sweep import resolve_jobs, run_sweep
 
 _PROCESSORS = {
     "simple": simple_scalar,
@@ -49,6 +49,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--corpus", action="store_true", help="also replay the checked-in corpus"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (1 = serial, 0 = all cores)",
+    )
     parser.add_argument("--verbose", action="store_true", help="per-program lines")
     parser.add_argument(
         "--no-shrink", action="store_true", help="skip shrinking on failure"
@@ -61,23 +67,24 @@ def main(argv=None) -> int:
     )
     oracle = DifferentialOracle(config)
 
+    jobs = resolve_jobs(args.jobs)
     print(
         f"differential sweep: {args.count} programs, base seed {args.base_seed}, "
-        f"processor {args.processor!r}, {args.inputs} input vectors each"
+        f"processor {args.processor!r}, {args.inputs} input vectors each, "
+        f"{jobs} worker(s)"
     )
-    started = time.perf_counter()
+    sweep = run_sweep(
+        range(args.base_seed, args.base_seed + args.count), config, jobs=jobs
+    )
     failures = []
-    total_runs = 0
-    for seed in range(args.base_seed, args.base_seed + args.count):
-        case = generate_case(seed)
-        result = oracle.check(case)
-        total_runs += len(result.runs)
+    total_runs = sweep.total_runs
+    for result in sweep.results:
         if args.verbose or not result.ok:
-            print(f"  seed {seed:>6d}: {result.summary()}")
+            print(f"  seed {result.seed:>6d}: {result.summary()}")
         if not result.ok:
-            failures.append((seed, case, result))
+            failures.append((result.seed, generate_case(result.seed), result))
 
-    elapsed = time.perf_counter() - started
+    elapsed = sweep.seconds
     print(
         f"checked {args.count} programs / {total_runs} concrete runs in "
         f"{elapsed:.1f}s ({elapsed / max(args.count, 1) * 1000:.0f} ms/program); "

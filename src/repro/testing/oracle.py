@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -81,6 +82,9 @@ class OracleResult:
     violations: List[Violation] = field(default_factory=list)
     report: Optional[WCETReport] = None
     source: str = ""
+    #: Wall-clock seconds per oracle phase ("compile", "analyze", "execute",
+    #: "check") — the raw material of the benchmark phase breakdowns.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -195,6 +199,7 @@ class DifferentialOracle:
         else:
             rendered = case.rendered()
         result.source = rendered.source
+        started = time.perf_counter()
         try:
             program = compile_source(rendered.source, entry=case.entry)
         except ReproError as exc:
@@ -202,8 +207,11 @@ class DifferentialOracle:
                 Violation(kind="compile-error", message=f"{type(exc).__name__}: {exc}")
             )
             return result
+        finally:
+            result.timings["compile"] = time.perf_counter() - started
 
         processor = self.config.processor_factory()
+        started = time.perf_counter()
         try:
             report = WCETAnalyzer(
                 program, processor, annotations=rendered.annotations
@@ -213,6 +221,8 @@ class DifferentialOracle:
                 Violation(kind="analysis-error", message=f"{type(exc).__name__}: {exc}")
             )
             return result
+        finally:
+            result.timings["analyze"] = time.perf_counter() - started
         result.report = report
         result.wcet_cycles = report.wcet_cycles
         result.bcet_cycles = report.bcet_cycles
@@ -223,16 +233,20 @@ class DifferentialOracle:
             seed=self.config.input_seed,
         )
         max_steps = min(case.max_steps, self.config.max_steps)
+        # One pre-decoded interpreter and one trace timer serve all vectors.
+        interpreter = Interpreter(program, max_steps=max_steps)
+        timer = TraceTimer(processor, program)
         # CFGs and loop forests depend only on the program; build them once
         # for all input vectors.
         structure = None
         if self.config.check_loop_bounds or self.config.check_unreachable:
+            started = time.perf_counter()
             structure = self._build_structure(program, rendered.annotations)
+            result.timings["check"] = time.perf_counter() - started
         for index, initial_data in enumerate(vectors):
+            started = time.perf_counter()
             try:
-                execution = Interpreter(program, max_steps=max_steps).run(
-                    case.entry, initial_data=initial_data
-                )
+                execution = interpreter.run(case.entry, initial_data=initial_data)
             except ReproError as exc:
                 result.violations.append(
                     Violation(
@@ -241,8 +255,14 @@ class DifferentialOracle:
                         input_index=index,
                     )
                 )
+                result.timings["execute"] = (
+                    result.timings.get("execute", 0.0) + time.perf_counter() - started
+                )
                 continue
-            observed = TraceTimer(processor, program).time(execution.trace)
+            observed = timer.time(execution.trace)
+            result.timings["execute"] = (
+                result.timings.get("execute", 0.0) + time.perf_counter() - started
+            )
             result.runs.append(
                 RunOutcome(
                     input_index=index,
@@ -276,7 +296,11 @@ class DifferentialOracle:
                     )
                 )
             if structure is not None:
+                started = time.perf_counter()
                 self._check_structure(structure, report, execution, result, index)
+                result.timings["check"] = (
+                    result.timings.get("check", 0.0) + time.perf_counter() - started
+                )
         return result
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,128 @@
+"""Batch API for differential sweeps, optionally parallel across processes.
+
+:func:`run_sweep` checks many generated programs (and/or explicit cases)
+through the differential oracle and aggregates the outcome.  With ``jobs > 1``
+the per-program checks are distributed over a :mod:`multiprocessing` worker
+pool — each program is an independent compile→analyze→replay pipeline, so the
+sweep scales with cores without any shared state.
+
+The parallel and serial paths produce identical results (same seeds, same
+oracle configuration, same deterministic input enumeration); only wall-clock
+differs.  ``WCETReport`` objects are dropped from the returned results by
+default — they are large, and shipping them back through the pool pickling
+layer would dominate the win of parallelism.  Pass ``keep_reports=True`` (only
+honoured in serial mode) when the caller needs them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.testing.generator import generate_case
+from repro.testing.oracle import DifferentialOracle, OracleConfig, OracleResult
+
+
+@dataclass
+class SweepResult:
+    """Aggregated outcome of one differential sweep."""
+
+    results: List[OracleResult]
+    seconds: float
+    jobs: int
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def failures(self) -> List[OracleResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def total_runs(self) -> int:
+        return sum(len(result.runs) for result in self.results)
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Per-phase oracle time summed over all checked programs.
+
+        Note that with ``jobs > 1`` the phases overlap in wall-clock time;
+        the sum can exceed :attr:`seconds`.
+        """
+        totals: Dict[str, float] = {}
+        for result in self.results:
+            for phase, spent in result.timings.items():
+                totals[phase] = totals.get(phase, 0.0) + spent
+        return totals
+
+    def bounds_by_case(self) -> Dict[str, tuple]:
+        """``case name -> (wcet, bcet)`` — the identity fingerprint of a sweep."""
+        return {
+            result.case_name: (result.wcet_cycles, result.bcet_cycles)
+            for result in self.results
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Worker-pool plumbing.  The oracle is constructed once per worker process
+# (initializer) so repeated checks share nothing but also rebuild nothing.
+# --------------------------------------------------------------------------- #
+_WORKER_ORACLE: Optional[DifferentialOracle] = None
+
+
+def _init_worker(config: OracleConfig) -> None:
+    global _WORKER_ORACLE
+    _WORKER_ORACLE = DifferentialOracle(config)
+
+
+def _check_seed(seed: int) -> OracleResult:
+    assert _WORKER_ORACLE is not None
+    result = _WORKER_ORACLE.check(generate_case(seed))
+    result.report = None  # reports are heavy; never ship them across the pool
+    return result
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/1 → serial, <=0 → all cores."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return multiprocessing.cpu_count()
+    return jobs
+
+
+def run_sweep(
+    seeds: Sequence[int],
+    config: Optional[OracleConfig] = None,
+    jobs: Optional[int] = None,
+    keep_reports: bool = False,
+) -> SweepResult:
+    """Differential-check the programs generated from ``seeds``.
+
+    ``jobs`` selects the worker-pool width: ``None`` or ``1`` runs serially in
+    this process, ``0`` (or any non-positive value) uses all cores, and any
+    other value that many worker processes.  Results are returned in seed
+    order regardless of the completion order across workers.
+    """
+    config = config or OracleConfig()
+    jobs = resolve_jobs(jobs)
+    started = time.perf_counter()
+
+    seeds = list(seeds)
+    if jobs <= 1 or len(seeds) <= 1:
+        oracle = DifferentialOracle(config)
+        results = []
+        for seed in seeds:
+            result = oracle.check(generate_case(seed))
+            if not keep_reports:
+                result.report = None
+            results.append(result)
+        return SweepResult(results, time.perf_counter() - started, jobs=1)
+
+    chunksize = max(1, len(seeds) // (jobs * 4))
+    with multiprocessing.Pool(
+        processes=jobs, initializer=_init_worker, initargs=(config,)
+    ) as pool:
+        results = pool.map(_check_seed, seeds, chunksize=chunksize)
+    return SweepResult(results, time.perf_counter() - started, jobs=jobs)

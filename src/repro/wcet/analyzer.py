@@ -26,6 +26,7 @@ and handles annotated recursion.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -63,6 +64,40 @@ from repro.wcet.report import (
     PhaseTiming,
     WCETReport,
 )
+
+
+class _PhaseClock:
+    """Exclusive per-phase wall-clock accounting.
+
+    Time always accrues to the *innermost* active phase: entering a nested
+    phase pauses the enclosing one.  Context-sensitive callee analysis makes
+    this essential — a callee's full analysis runs in the middle of the
+    caller's pipeline-analysis phase, and naive interval timing would charge
+    the callee's loop/value/cache/path work to the caller's pipeline bucket
+    *in addition to* the callee's own buckets.  With the stacked clock the
+    per-phase figures are disjoint and sum to the measured total.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self._stack: List[str] = []
+        self._checkpoint = 0.0
+
+    def _accrue(self, now: float) -> None:
+        if self._stack:
+            top = self._stack[-1]
+            self.seconds[top] = self.seconds.get(top, 0.0) + (now - self._checkpoint)
+        self._checkpoint = now
+
+    @contextmanager
+    def phase(self, name: str):
+        self._accrue(time.perf_counter())
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._accrue(time.perf_counter())
+            self._stack.pop()
 
 
 @dataclass
@@ -133,31 +168,32 @@ class WCETAnalyzer:
 
         phases: List[PhaseTiming] = []
         challenges = ChallengeReport()
+        clock = _PhaseClock()
 
         # ----------------------------------------------------------------- #
         # Phase 1: decoding (CFG reconstruction + call graph)
         # ----------------------------------------------------------------- #
-        started = time.perf_counter()
-        cfgs, issues = reconstruct_program(
-            self.program,
-            hints=annotations.control_flow_hints,
-            strict=self.options.strict_indirect,
-        )
-        callgraph = build_callgraph(
-            self.program,
-            hints=annotations.control_flow_hints,
-            strict=self.options.strict_indirect,
-        )
-        for issue in issues:
-            challenges.add_tier_one(str(issue))
-        for caller, address in callgraph.unresolved_calls:
-            challenges.add_tier_one(
-                f"{caller}@{address:#x}: unresolved indirect call (function pointer)"
+        with clock.phase("decoding"):
+            cfgs, issues = reconstruct_program(
+                self.program,
+                hints=annotations.control_flow_hints,
+                strict=self.options.strict_indirect,
             )
+            callgraph = build_callgraph(
+                self.program,
+                hints=annotations.control_flow_hints,
+                strict=self.options.strict_indirect,
+            )
+            for issue in issues:
+                challenges.add_tier_one(str(issue))
+            for caller, address in callgraph.unresolved_calls:
+                challenges.add_tier_one(
+                    f"{caller}@{address:#x}: unresolved indirect call (function pointer)"
+                )
         phases.append(
             PhaseTiming(
                 "decoding",
-                time.perf_counter() - started,
+                clock.seconds.get("decoding", 0.0),
                 f"{sum(len(c.blocks) for c in cfgs.values())} basic blocks",
             )
         )
@@ -168,36 +204,44 @@ class WCETAnalyzer:
             cfgs=cfgs,
             callgraph=callgraph,
             challenges=challenges,
-            phase_seconds={},
+            clock=clock,
             reports={},
             context_cache=ContextCache(),
             recursive_functions=callgraph.recursive_functions(),
         )
 
         # ----------------------------------------------------------------- #
-        # Phases 2-4 per function, callees before callers.
+        # Phases 2-4 per function, callees before callers.  The enclosing
+        # "orchestration" phase soaks up the time between the named phases
+        # (call-graph walking, context-cache management, recursion scaling)
+        # so the per-phase figures sum to the total analysis time.
         # ----------------------------------------------------------------- #
-        for component in callgraph.strongly_connected_components():
-            members = [name for name in component if name in reachable]
-            if not members:
-                continue
-            is_recursive = len(component) > 1 or any(
-                name in callgraph.callees(name) for name in component
-            )
-            if is_recursive:
-                self._analyze_recursive_component(members, analysis_state)
-            else:
-                name = members[0]
-                report = self._analyze_function(
-                    name, CallContext.default(name), analysis_state
+        with clock.phase("orchestration"):
+            for component in callgraph.strongly_connected_components():
+                members = [name for name in component if name in reachable]
+                if not members:
+                    continue
+                is_recursive = len(component) > 1 or any(
+                    name in callgraph.callees(name) for name in component
                 )
-                analysis_state.reports[name] = report
+                if is_recursive:
+                    self._analyze_recursive_component(members, analysis_state)
+                else:
+                    name = members[0]
+                    report = self._analyze_function(
+                        name, CallContext.default(name), analysis_state
+                    )
+                    analysis_state.reports[name] = report
 
-        for phase_name in ("loop/value analysis", "cache analysis", "pipeline analysis", "path analysis"):
+        for phase_name in (
+            "loop/value analysis",
+            "cache analysis",
+            "pipeline analysis",
+            "path analysis",
+            "orchestration",
+        ):
             phases.append(
-                PhaseTiming(
-                    phase_name, analysis_state.phase_seconds.get(phase_name, 0.0)
-                )
+                PhaseTiming(phase_name, clock.seconds.get(phase_name, 0.0))
             )
 
         entry_report = analysis_state.reports[entry]
@@ -245,21 +289,20 @@ class WCETAnalyzer:
         loops = find_loops(cfg)
 
         # --- loop/value analysis ------------------------------------------ #
-        started = time.perf_counter()
-        initial_registers = self._initial_registers(name, context, annotations)
-        value_analysis = ValueAnalysis(
-            self.program,
-            cfg,
-            loops,
-            initial_registers=initial_registers,
-            assume_initial_globals=self.options.assume_initial_globals,
-        )
-        values = value_analysis.run()
-        bounds = LoopBoundAnalysis(cfg, loops, values).run()
-        loop_reports = self._apply_loop_annotations(name, cfg, loops, bounds, annotations, run)
-        run.phase_seconds["loop/value analysis"] = run.phase_seconds.get(
-            "loop/value analysis", 0.0
-        ) + (time.perf_counter() - started)
+        with run.clock.phase("loop/value analysis"):
+            initial_registers = self._initial_registers(name, context, annotations)
+            value_analysis = ValueAnalysis(
+                self.program,
+                cfg,
+                loops,
+                initial_registers=initial_registers,
+                assume_initial_globals=self.options.assume_initial_globals,
+            )
+            values = value_analysis.run()
+            bounds = LoopBoundAnalysis(cfg, loops, values).run()
+            loop_reports = self._apply_loop_annotations(
+                name, cfg, loops, bounds, annotations, run
+            )
 
         if bounds.failures:
             details = "; ".join(
@@ -277,78 +320,74 @@ class WCETAnalyzer:
         accesses = self._restrict_accesses(name, values.accesses, annotations, run)
 
         # --- cache analysis ------------------------------------------------ #
-        started = time.perf_counter()
-        icache_classes: Dict[int, CacheClassification] = {}
-        dcache_classes: Dict[int, CacheClassification] = {}
-        icache_summary: Dict[str, int] = {}
-        dcache_summary: Dict[str, int] = {}
-        if self.processor.icache is not None and self.options.use_instruction_cache:
-            icache_result = InstructionCacheAnalysis(cfg, self.processor.icache, loops).run()
-            icache_classes = icache_result.classifications
-            icache_summary = icache_result.summary()
-        if self.processor.dcache is not None and self.options.use_data_cache:
-            dcache_result = DataCacheAnalysis(
-                cfg, self.processor.dcache, accesses, self.processor.memory_map, loops
-            ).run()
-            dcache_classes = dcache_result.classifications
-            dcache_summary = dcache_result.summary()
-        run.phase_seconds["cache analysis"] = run.phase_seconds.get(
-            "cache analysis", 0.0
-        ) + (time.perf_counter() - started)
+        with run.clock.phase("cache analysis"):
+            icache_classes: Dict[int, CacheClassification] = {}
+            dcache_classes: Dict[int, CacheClassification] = {}
+            icache_summary: Dict[str, int] = {}
+            dcache_summary: Dict[str, int] = {}
+            if self.processor.icache is not None and self.options.use_instruction_cache:
+                icache_result = InstructionCacheAnalysis(cfg, self.processor.icache, loops).run()
+                icache_classes = icache_result.classifications
+                icache_summary = icache_result.summary()
+            if self.processor.dcache is not None and self.options.use_data_cache:
+                dcache_result = DataCacheAnalysis(
+                    cfg, self.processor.dcache, accesses, self.processor.memory_map, loops
+                ).run()
+                dcache_classes = dcache_result.classifications
+                dcache_summary = dcache_result.summary()
 
         # --- pipeline analysis (per-block times + callee costs) ------------- #
-        started = time.perf_counter()
-        table = BlockTimeTable(function_name=name)
-        for block_id, block in cfg.blocks.items():
-            table.set_block(
-                self.pipeline.block_time_bounds(
-                    block, icache_classes, dcache_classes, accesses
+        # Callee costs recursively analyse the callees; their phases pause
+        # this one (see _PhaseClock), so only the caller's own table work is
+        # charged to "pipeline analysis".
+        with run.clock.phase("pipeline analysis"):
+            table = BlockTimeTable(function_name=name)
+            for block_id, block in cfg.blocks.items():
+                table.set_block(
+                    self.pipeline.block_time_bounds(
+                        block, icache_classes, dcache_classes, accesses
+                    )
                 )
+            self._add_callee_costs(
+                name, cfg, value_analysis, values, table, run, recursive_component
             )
-        self._add_callee_costs(
-            name, cfg, value_analysis, values, table, run, recursive_component
-        )
-        run.phase_seconds["pipeline analysis"] = run.phase_seconds.get(
-            "pipeline analysis", 0.0
-        ) + (time.perf_counter() - started)
 
         # --- path analysis --------------------------------------------------#
-        started = time.perf_counter()
-        reachability = find_unreachable_code(cfg, values)
-        infeasible_blocks = set(reachability.all_unreachable())
-        infeasible_blocks |= self._resolve_infeasible(name, cfg, annotations)
-        infeasible_edges = set(values.infeasible_edges())
-        flow_constraints = self._resolve_flow_constraints(name, cfg, annotations)
-        loop_bound_map = {
-            header: bound.max_back_edges for header, bound in bounds.bounds.items()
-        }
+        with run.clock.phase("path analysis"):
+            reachability = find_unreachable_code(cfg, values)
+            infeasible_blocks = set(reachability.all_unreachable())
+            infeasible_blocks |= self._resolve_infeasible(name, cfg, annotations)
+            infeasible_edges = set(values.infeasible_edges())
+            flow_constraints = self._resolve_flow_constraints(name, cfg, annotations)
+            loop_bound_map = {
+                header: bound.max_back_edges for header, bound in bounds.bounds.items()
+            }
 
-        ipet = IPETBuilder(cfg, loops)
-        wcet_result = ipet.solve(
-            table.wcet_weights(),
-            loop_bound_map,
-            infeasible_blocks=infeasible_blocks,
-            infeasible_edges=infeasible_edges,
-            flow_constraints=flow_constraints,
-            maximise=True,
-            backend=self.options.ilp_backend,
-        )
-        if self.options.compute_bcet:
-            bcet_result = ipet.solve(
-                table.bcet_weights(),
-                loop_bound_map,
-                infeasible_blocks=infeasible_blocks,
-                infeasible_edges=infeasible_edges,
-                flow_constraints=flow_constraints,
-                maximise=False,
-                backend=self.options.ilp_backend,
-            )
-            bcet_cycles = bcet_result.bound_cycles
-        else:
-            bcet_cycles = 0
-        run.phase_seconds["path analysis"] = run.phase_seconds.get(
-            "path analysis", 0.0
-        ) + (time.perf_counter() - started)
+            ipet = IPETBuilder(cfg, loops)
+            if self.options.compute_bcet:
+                # Both objectives share one constraint system (and, under the
+                # bespoke simplex, one phase-1 feasibility basis).
+                wcet_result, bcet_result = ipet.solve_pair(
+                    table.wcet_weights(),
+                    table.bcet_weights(),
+                    loop_bound_map,
+                    infeasible_blocks=infeasible_blocks,
+                    infeasible_edges=infeasible_edges,
+                    flow_constraints=flow_constraints,
+                    backend=self.options.ilp_backend,
+                )
+                bcet_cycles = bcet_result.bound_cycles
+            else:
+                wcet_result = ipet.solve(
+                    table.wcet_weights(),
+                    loop_bound_map,
+                    infeasible_blocks=infeasible_blocks,
+                    infeasible_edges=infeasible_edges,
+                    flow_constraints=flow_constraints,
+                    maximise=True,
+                    backend=self.options.ilp_backend,
+                )
+                bcet_cycles = 0
 
         unknown_accesses = sum(1 for info in accesses.values() if info.unknown)
         imprecise_accesses = sum(
@@ -740,7 +779,7 @@ class _RunState:
     cfgs: Dict[str, ControlFlowGraph]
     callgraph: CallGraph
     challenges: ChallengeReport
-    phase_seconds: Dict[str, float]
+    clock: _PhaseClock
     reports: Dict[str, FunctionReport]
     context_cache: ContextCache
     recursive_functions: Set[str] = None

@@ -27,6 +27,13 @@ try:  # scipy is an optional (but normally installed) backend
 except Exception:  # pragma: no cover - exercised only without scipy
     _scipy_linprog = None
 
+#: Problems with at most this many variables are solved by the in-tree sparse
+#: simplex under the "auto" backend: IPET systems of this size solve in well
+#: under a millisecond there, while scipy's linprog spends multiples of that
+#: on input validation and option handling alone.  Larger systems go to HiGHS,
+#: whose constant factor amortises.
+_AUTO_SIMPLEX_MAX_VARIABLES = 400
+
 
 class LinearExpression:
     """A linear combination of problem variables plus a constant."""
@@ -163,30 +170,34 @@ class ILPProblem:
         ``"scipy"`` or ``"simplex"``.  ``integer=False`` returns the LP
         relaxation (useful for tests and diagnostics).
         """
-        if backend == "auto":
-            backend = "scipy" if _scipy_linprog is not None else "simplex"
-        if backend == "scipy" and _scipy_linprog is None:
-            raise PathAnalysisError("scipy backend requested but scipy is unavailable")
+        backend = self._resolve_backend(backend)
 
         relaxed = self._solve_relaxation(backend, extra_bounds={})
         if not integer:
             return relaxed
 
-        # Branch and bound on fractional variables.
+        # Branch and bound on fractional variables.  The root relaxation has
+        # already been solved above; IPET systems are network-flow-like, so it
+        # is almost always integral and the loop ends after inspecting it.
         best: Optional[ILPSolution] = None
         nodes = 0
-        stack: List[Dict[str, Tuple[float, Optional[float]]]] = [{}]
+        stack: List[Tuple[Dict[str, Tuple[float, Optional[float]]], Optional[ILPSolution]]] = [
+            ({}, relaxed)
+        ]
         while stack:
-            extra = stack.pop()
+            extra, presolved = stack.pop()
             nodes += 1
             if nodes > 2000:
                 raise PathAnalysisError(
                     "branch-and-bound node limit exceeded; the ILP is unexpectedly hard"
                 )
-            try:
-                solution = self._solve_relaxation(backend, extra_bounds=extra)
-            except InfeasibleILPError:
-                continue
+            if presolved is not None:
+                solution = presolved
+            else:
+                try:
+                    solution = self._solve_relaxation(backend, extra_bounds=extra)
+                except InfeasibleILPError:
+                    continue
             if best is not None:
                 if self.maximise and solution.objective <= best.objective + 1e-6:
                     continue
@@ -217,8 +228,8 @@ class ILPProblem:
             floor_branch[variable] = (current[0], math.floor(value))
             ceil_branch = dict(extra)
             ceil_branch[variable] = (math.ceil(value), current[1])
-            stack.append(floor_branch)
-            stack.append(ceil_branch)
+            stack.append((floor_branch, None))
+            stack.append((ceil_branch, None))
 
         if best is None:
             raise InfeasibleILPError(
@@ -228,6 +239,37 @@ class ILPProblem:
         return best
 
     # ------------------------------------------------------------------ #
+    def _resolve_backend(self, backend: str) -> str:
+        if backend == "auto":
+            if _scipy_linprog is None or len(self._order) <= _AUTO_SIMPLEX_MAX_VARIABLES:
+                return "simplex"
+            return "scipy"
+        if backend == "scipy" and _scipy_linprog is None:
+            raise PathAnalysisError("scipy backend requested but scipy is unavailable")
+        return backend
+
+    def _default_bounds(self) -> List[Tuple[float, Optional[float]]]:
+        return [
+            (self._variables[variable][0], self._variables[variable][1])
+            for variable in self._order
+        ]
+
+    def _system_signature(self):
+        """Hashable identity of the constraint system (excluding objective)."""
+        return (
+            tuple(self._order),
+            tuple(sorted(self._variables.items())),
+            tuple(
+                (
+                    constraint.relation,
+                    constraint.bound,
+                    constraint.expression.constant,
+                    tuple(sorted(constraint.expression.terms.items())),
+                )
+                for constraint in self.constraints
+            ),
+        )
+
     def _first_fractional(self, solution: ILPSolution) -> Optional[Tuple[str, float]]:
         for variable in self._order:
             _, _, integer = self._variables[variable]
@@ -247,6 +289,25 @@ class ILPProblem:
         for variable, coefficient in self.objective.terms.items():
             objective[index[variable]] = coefficient
 
+        # Variable bounds.
+        bounds: List[Tuple[float, Optional[float]]] = []
+        for variable in order:
+            lower, upper, _ = self._variables[variable]
+            if variable in extra_bounds:
+                extra_lower, extra_upper = extra_bounds[variable]
+                lower = max(lower, extra_lower)
+                if upper is None:
+                    upper = extra_upper
+                elif extra_upper is not None:
+                    upper = min(upper, extra_upper)
+            bounds.append((lower, upper))
+
+        if backend == "scipy":
+            return self._solve_scipy_dense(objective, index, bounds)
+        return self._solve_simplex_sparse(objective, index, bounds)
+
+    def _solve_scipy_dense(self, objective, index, bounds) -> ILPSolution:
+        order = self._order
         a_ub: List[List[float]] = []
         b_ub: List[float] = []
         a_eq: List[List[float]] = []
@@ -270,23 +331,7 @@ class ILPProblem:
             else:
                 a_eq.append(row)
                 b_eq.append(bound)
-
-        # Variable bounds.
-        bounds: List[Tuple[float, Optional[float]]] = []
-        for variable in order:
-            lower, upper, _ = self._variables[variable]
-            if variable in extra_bounds:
-                extra_lower, extra_upper = extra_bounds[variable]
-                lower = max(lower, extra_lower)
-                if upper is None:
-                    upper = extra_upper
-                elif extra_upper is not None:
-                    upper = min(upper, extra_upper)
-            bounds.append((lower, upper))
-
-        if backend == "scipy":
-            return self._solve_scipy(objective, a_ub, b_ub, a_eq, b_eq, bounds)
-        return self._solve_simplex(objective, a_ub, b_ub, a_eq, b_eq, bounds)
+        return self._solve_scipy(objective, a_ub, b_ub, a_eq, b_eq, bounds)
 
     # ------------------------------------------------------------------ #
     def _solve_scipy(self, objective, a_ub, b_ub, a_eq, b_eq, bounds) -> ILPSolution:
@@ -317,22 +362,41 @@ class ILPProblem:
             values=values,
         )
 
-    def _solve_simplex(self, objective, a_ub, b_ub, a_eq, b_eq, bounds) -> ILPSolution:
+    def _sparse_system(self, index, bounds):
+        """Constraint rows + bound rows in the sparse simplex input form."""
+        a_ub: List[Dict[int, float]] = []
+        b_ub: List[float] = []
+        a_eq: List[Dict[int, float]] = []
+        b_eq: List[float] = []
+        for constraint in self.constraints:
+            row = {
+                index[variable]: coefficient
+                for variable, coefficient in constraint.expression.terms.items()
+            }
+            bound = constraint.bound - constraint.expression.constant
+            if constraint.relation == "<=":
+                a_ub.append(row)
+                b_ub.append(bound)
+            elif constraint.relation == ">=":
+                a_ub.append({position: -value for position, value in row.items()})
+                b_ub.append(-bound)
+            else:
+                a_eq.append(row)
+                b_eq.append(bound)
         # The bespoke simplex only supports x >= 0; encode other bounds as rows.
-        a_ub = [list(row) for row in a_ub]
-        b_ub = list(b_ub)
         for position, (lower, upper) in enumerate(bounds):
             if lower > 0:
-                row = [0.0] * len(objective)
-                row[position] = -1.0
-                a_ub.append(row)
+                a_ub.append({position: -1.0})
                 b_ub.append(-lower)
             if upper is not None:
-                row = [0.0] * len(objective)
-                row[position] = 1.0
-                a_ub.append(row)
+                a_ub.append({position: 1.0})
                 b_ub.append(upper)
-        result = simplex.solve_lp(
+        return a_ub, b_ub, a_eq, b_eq
+
+    def _solve_simplex_sparse(self, objective, index, bounds) -> ILPSolution:
+        """Hand constraint rows to the sparse simplex without densification."""
+        a_ub, b_ub, a_eq, b_eq = self._sparse_system(index, bounds)
+        result = simplex.solve_sparse_lp(
             objective, a_ub, b_ub, a_eq, b_eq, maximise=self.maximise
         )
         if result.status == "infeasible":
@@ -352,3 +416,70 @@ class ILPProblem:
 def solve_ilp(problem: ILPProblem, backend: str = "auto") -> ILPSolution:
     """Convenience wrapper around :meth:`ILPProblem.solve`."""
     return problem.solve(backend=backend)
+
+
+def solve_ilp_pair(
+    first: ILPProblem, second: ILPProblem, backend: str = "auto"
+) -> Tuple[ILPSolution, ILPSolution]:
+    """Solve two ILPs that share variables, bounds and constraints.
+
+    The IPET path analysis solves each function's constraint system twice —
+    maximise for the WCET bound, minimise for the BCET bound.  Phase 1 of the
+    two-phase simplex (finding a feasible basis) never inspects the
+    objective, so under the bespoke backend it runs once and both phase-2
+    optimisations start from the same prepared tableau, giving bit-identical
+    results to two independent solves at roughly half the pivot count.
+
+    Falls back to two independent solves for the scipy backend, for problems
+    whose systems differ, or when a root relaxation turns out fractional
+    (then full branch-and-bound handles that objective).
+    """
+    resolved = first._resolve_backend(backend)
+    if resolved != "simplex" or first._system_signature() != second._system_signature():
+        return first.solve(backend=backend), second.solve(backend=backend)
+
+    order = first._order
+    index = {variable: position for position, variable in enumerate(order)}
+    bounds = first._default_bounds()
+    a_ub, b_ub, a_eq, b_eq = first._sparse_system(index, bounds)
+    prepared = simplex.prepare_sparse_tableau(len(order), a_ub, b_ub, a_eq, b_eq)
+
+    solutions: List[ILPSolution] = []
+    for problem in (first, second):
+        if not prepared.feasible:
+            raise InfeasibleILPError(f"{problem.name}: path analysis ILP is infeasible")
+        objective = [0.0] * len(order)
+        for variable, coefficient in problem.objective.terms.items():
+            objective[index[variable]] = coefficient
+        result = simplex.optimise_prepared(
+            prepared, objective, problem.maximise, clone=True
+        )
+        if result.status == "infeasible":
+            raise InfeasibleILPError(f"{problem.name}: path analysis ILP is infeasible")
+        if result.status == "unbounded":
+            raise UnboundedILPError(
+                f"{problem.name}: path analysis ILP is unbounded — some loop has no "
+                "iteration bound constraint"
+            )
+        values = {
+            variable: float(value)
+            for variable, value in zip(order, result.values or [])
+        }
+        relaxed = ILPSolution(
+            objective=problem.objective.evaluate(values), values=values
+        )
+        if problem._first_fractional(relaxed) is not None:
+            # Rare: hand this objective to the full branch-and-bound.
+            solutions.append(problem.solve(backend="simplex"))
+            continue
+        rounded = {
+            variable: float(round(value)) for variable, value in values.items()
+        }
+        solutions.append(
+            ILPSolution(
+                objective=problem.objective.evaluate(rounded),
+                values=rounded,
+                nodes=1,
+            )
+        )
+    return solutions[0], solutions[1]

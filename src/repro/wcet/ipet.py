@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.errors import PathAnalysisError, UnboundedILPError
 from repro.cfg.graph import ENTRY, EXIT, ControlFlowGraph
 from repro.cfg.loops import LoopForest
-from repro.wcet.ilp import ILPProblem, ILPSolution, LinearExpression
+from repro.wcet.ilp import ILPProblem, ILPSolution, LinearExpression, solve_ilp_pair
 
 
 @dataclass(frozen=True)
@@ -245,6 +245,59 @@ class IPETBuilder:
                 f"loops without iteration bounds: {', '.join(unbounded) or 'unknown'}"
             ) from exc
         return self._result_from_solution(solution, maximise)
+
+    def solve_pair(
+        self,
+        wcet_weights: Dict[int, int],
+        bcet_weights: Dict[int, int],
+        loop_bounds: Dict[int, int],
+        infeasible_blocks: Iterable[int] = (),
+        infeasible_edges: Iterable[Tuple[int, int]] = (),
+        flow_constraints: Sequence[ResolvedFlowConstraint] = (),
+        backend: str = "auto",
+    ) -> Tuple[PathAnalysisResult, PathAnalysisResult]:
+        """Solve the WCET (maximise) and BCET (minimise) objectives together.
+
+        Both objectives run over the identical constraint system, so the
+        bespoke simplex backend shares one phase-1 feasibility basis between
+        them (see :func:`repro.wcet.ilp.solve_ilp_pair`); results are
+        identical to two separate :meth:`solve` calls.
+        """
+        infeasible_blocks = tuple(infeasible_blocks)
+        infeasible_edges = tuple(infeasible_edges)
+        wcet_problem = self.build(
+            wcet_weights,
+            loop_bounds,
+            infeasible_blocks=infeasible_blocks,
+            infeasible_edges=infeasible_edges,
+            flow_constraints=flow_constraints,
+            maximise=True,
+        )
+        bcet_problem = self.build(
+            bcet_weights,
+            loop_bounds,
+            infeasible_blocks=infeasible_blocks,
+            infeasible_edges=infeasible_edges,
+            flow_constraints=flow_constraints,
+            maximise=False,
+        )
+        try:
+            wcet_solution, bcet_solution = solve_ilp_pair(
+                wcet_problem, bcet_problem, backend=backend
+            )
+        except UnboundedILPError as exc:
+            unbounded = [
+                f"{loop.header:#x}" for loop in self.loops.loops
+                if loop.header not in loop_bounds
+            ]
+            raise UnboundedILPError(
+                f"{self.cfg.function_name}: the path analysis ILP is unbounded; "
+                f"loops without iteration bounds: {', '.join(unbounded) or 'unknown'}"
+            ) from exc
+        return (
+            self._result_from_solution(wcet_solution, True),
+            self._result_from_solution(bcet_solution, False),
+        )
 
     def _result_from_solution(
         self, solution: ILPSolution, maximise: bool

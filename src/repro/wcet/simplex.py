@@ -1,4 +1,4 @@
-"""A small, dependency-free two-phase simplex solver.
+"""A small, dependency-free two-phase simplex solver over sparse rows.
 
 The IPET path analysis produces linear programs with a few dozen variables; we
 solve them either with this solver or with scipy's ``linprog`` (HiGHS) backend
@@ -15,16 +15,32 @@ The solver handles problems of the form::
 
 using the standard two-phase primal simplex method with Bland's pivoting rule
 (which guarantees termination).
+
+Representation
+--------------
+
+IPET tableaus are network-flow-like: each structural constraint mentions only
+the handful of edges around one basic block, so the dense tableau is almost
+entirely zeros (and the slack/artificial columns make it wider still).  Rows
+are therefore stored as ``{column: coefficient}`` dicts with the right-hand
+side kept separately: a pivot touches only the nonzero entries of the pivot
+row and the rows that actually contain the pivot column.  The arithmetic per
+touched entry is exactly the dense update ``row[c] -= factor * pivot[c]``, so
+results are bit-identical to the dense implementation — including fill-in and
+the tiny cancellation residues the epsilon comparisons were tuned for.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import InfeasibleILPError, PathAnalysisError, UnboundedILPError
 
 _EPSILON = 1e-9
+
+#: A sparse tableau row: column index -> nonzero coefficient.
+SparseRow = Dict[int, float]
 
 
 @dataclass
@@ -36,44 +52,87 @@ class SimplexResult:
     values: Optional[List[float]] = None
 
 
-def _pivot(tableau: List[List[float]], basis: List[int], row: int, col: int) -> None:
-    pivot_value = tableau[row][col]
-    tableau[row] = [value / pivot_value for value in tableau[row]]
-    for r, current in enumerate(tableau):
-        if r != row and abs(current[col]) > _EPSILON:
-            factor = current[col]
-            tableau[r] = [
-                current_value - factor * pivot_value_row
-                for current_value, pivot_value_row in zip(current, tableau[row])
-            ]
+def _build_column_index(rows: List[SparseRow]) -> Dict[int, set]:
+    """``column -> {row indices with a stored entry}`` for the whole tableau.
+
+    Kept additively up to date across pivots (entries that cancel to ~0 stay
+    registered, exactly as the dense tableau kept explicit zeros): a lookup
+    may yield a structurally-zero row, but never misses a nonzero one.
+    """
+    index: Dict[int, set] = {}
+    for r, row in enumerate(rows):
+        for column in row:
+            index.setdefault(column, set()).add(r)
+    return index
+
+
+def _pivot(
+    rows: List[SparseRow],
+    rhs: List[float],
+    basis: List[int],
+    col_rows: Dict[int, set],
+    row: int,
+    col: int,
+) -> None:
+    """Pivot on ``(row, col)``: normalise the pivot row, eliminate elsewhere."""
+    pivot_row = rows[row]
+    pivot_value = pivot_row[col]
+    if pivot_value != 1.0:
+        for column in pivot_row:
+            pivot_row[column] /= pivot_value
+        rhs[row] /= pivot_value
+    pivot_items = list(pivot_row.items())
+    pivot_rhs = rhs[row]
+    for r in list(col_rows.get(col, ())):
+        if r == row:
+            continue
+        current = rows[r]
+        factor = current.get(col)
+        if factor is not None and (factor > _EPSILON or factor < -_EPSILON):
+            get = current.get
+            for column, value in pivot_items:
+                existing = get(column)
+                if existing is None:
+                    current[column] = 0.0 - factor * value
+                    col_rows.setdefault(column, set()).add(r)
+                else:
+                    current[column] = existing - factor * value
+            rhs[r] -= factor * pivot_rhs
     basis[row] = col
 
 
 def _run_simplex(
-    tableau: List[List[float]], basis: List[int], num_columns: int
+    rows: List[SparseRow],
+    rhs: List[float],
+    objective: SparseRow,
+    objective_rhs: List[float],
+    basis: List[int],
+    col_rows: Dict[int, set],
+    num_columns: int,
 ) -> str:
-    """Run primal simplex on a tableau whose last row is the objective row.
+    """Run primal simplex; ``objective``/``objective_rhs[0]`` is the cost row.
 
     Returns "optimal" or "unbounded".  Uses Bland's rule to avoid cycling.
     """
     max_pivots = 20_000
     for _ in range(max_pivots):
-        objective_row = tableau[-1]
         # Bland's rule: choose the lowest-index column with a negative reduced cost.
         pivot_col = -1
-        for col in range(num_columns):
-            if objective_row[col] < -_EPSILON:
+        for col, value in objective.items():
+            if value < -_EPSILON and col < num_columns and (
+                pivot_col < 0 or col < pivot_col
+            ):
                 pivot_col = col
-                break
         if pivot_col < 0:
             return "optimal"
-        # Ratio test (again lowest index on ties — Bland).
+        # Ratio test over the rows that actually carry the pivot column
+        # (ascending row index, so Bland tie-breaking matches a full scan).
         pivot_row = -1
         best_ratio = None
-        for row in range(len(tableau) - 1):
-            coefficient = tableau[row][pivot_col]
+        for row in sorted(col_rows.get(pivot_col, ())):
+            coefficient = rows[row].get(pivot_col, 0.0)
             if coefficient > _EPSILON:
-                ratio = tableau[row][-1] / coefficient
+                ratio = rhs[row] / coefficient
                 if best_ratio is None or ratio < best_ratio - _EPSILON or (
                     abs(ratio - (best_ratio or 0.0)) <= _EPSILON
                     and basis[row] < basis[pivot_row]
@@ -82,7 +141,16 @@ def _run_simplex(
                     pivot_row = row
         if pivot_row < 0:
             return "unbounded"
-        _pivot(tableau, basis, pivot_row, pivot_col)
+        _pivot(rows, rhs, basis, col_rows, pivot_row, pivot_col)
+        # Eliminate the pivot column from the objective row as well.
+        factor = objective.get(pivot_col, 0.0)
+        if abs(factor) > _EPSILON:
+            for column, value in rows[pivot_row].items():
+                objective[column] = objective.get(column, 0.0) - factor * value
+            objective_rhs[0] -= factor * rhs[pivot_row]
+        # else: like the dense implementation, a sub-epsilon residue in the
+        # objective row is left untouched (it can never be chosen by Bland's
+        # rule, which requires < -epsilon).
     raise PathAnalysisError("simplex did not terminate (pivot limit reached)")
 
 
@@ -94,21 +162,73 @@ def solve_lp(
     b_eq: Sequence[float],
     maximise: bool = True,
 ) -> SimplexResult:
-    """Solve the LP; see module docstring for the problem form."""
-    num_vars = len(objective)
-    sign = 1.0 if maximise else -1.0
+    """Solve the LP with dense constraint rows (convenience wrapper)."""
+    return solve_sparse_lp(
+        objective,
+        [_sparse(row) for row in a_ub],
+        b_ub,
+        [_sparse(row) for row in a_eq],
+        b_eq,
+        maximise=maximise,
+    )
 
-    rows: List[Tuple[List[float], float, str]] = []
+
+@dataclass
+class PreparedTableau:
+    """A tableau after phase 1: a feasible basis, independent of objective.
+
+    Phase 1 (artificial-variable elimination) never looks at the real
+    objective, so one prepared tableau can serve several phase-2 runs — the
+    IPET path analysis exploits this to solve the WCET (maximise) and BCET
+    (minimise) objectives of one function against a single feasibility basis.
+    """
+
+    num_vars: int
+    num_slack: int
+    rows: List[SparseRow]
+    rhs: List[float]
+    basis: List[int]
+    col_rows: Dict[int, set]
+    artificial_columns: List[int]
+    feasible: bool
+
+
+def solve_sparse_lp(
+    objective: Sequence[float],
+    a_ub: Sequence[SparseRow],
+    b_ub: Sequence[float],
+    a_eq: Sequence[SparseRow],
+    b_eq: Sequence[float],
+    maximise: bool = True,
+) -> SimplexResult:
+    """Solve the LP; see module docstring for the problem form.
+
+    Constraint rows are ``{variable index: coefficient}`` dicts (explicit
+    zeros are ignored); the objective remains a dense sequence.
+    """
+    prepared = prepare_sparse_tableau(len(objective), a_ub, b_ub, a_eq, b_eq)
+    return optimise_prepared(prepared, objective, maximise, clone=False)
+
+
+def prepare_sparse_tableau(
+    num_vars: int,
+    a_ub: Sequence[SparseRow],
+    b_ub: Sequence[float],
+    a_eq: Sequence[SparseRow],
+    b_eq: Sequence[float],
+) -> PreparedTableau:
+    """Build the tableau and run phase 1 (minimise artificial variables)."""
+    rows_in: List[Tuple[SparseRow, float, str]] = []
     for coefficients, bound in zip(a_ub, b_ub):
-        rows.append((list(coefficients), float(bound), "<="))
+        rows_in.append((_nonzero(coefficients), float(bound), "<="))
     for coefficients, bound in zip(a_eq, b_eq):
-        rows.append((list(coefficients), float(bound), "=="))
+        rows_in.append((_nonzero(coefficients), float(bound), "=="))
 
     # Normalise to non-negative right-hand sides.
-    normalised: List[Tuple[List[float], float, str]] = []
-    for coefficients, bound, kind in rows:
+    normalised: List[Tuple[SparseRow, float, str]] = []
+    for coefficients, bound, kind in rows_in:
         if bound < 0:
-            coefficients = [-c for c in coefficients]
+            coefficients = {col: -value for col, value in coefficients.items()}
             bound = -bound
             kind = {"<=": ">=", ">=": "<=", "==": "=="}[kind]
         normalised.append((coefficients, bound, kind))
@@ -117,17 +237,15 @@ def solve_lp(
     num_artificial = sum(1 for _, _, kind in normalised if kind in (">=", "=="))
     total_columns = num_vars + num_slack + num_artificial
 
-    tableau: List[List[float]] = []
+    rows: List[SparseRow] = []
+    rhs: List[float] = []
     basis: List[int] = []
     slack_index = num_vars
     artificial_index = num_vars + num_slack
     artificial_columns: List[int] = []
 
     for coefficients, bound, kind in normalised:
-        row = [0.0] * (total_columns + 1)
-        for index, coefficient in enumerate(coefficients):
-            row[index] = float(coefficient)
-        row[-1] = bound
+        row = dict(coefficients)
         if kind == "<=":
             row[slack_index] = 1.0
             basis.append(slack_index)
@@ -144,57 +262,115 @@ def solve_lp(
             basis.append(artificial_index)
             artificial_columns.append(artificial_index)
             artificial_index += 1
-        tableau.append(row)
+        rows.append(row)
+        rhs.append(bound)
+
+    col_rows = _build_column_index(rows)
 
     # ------------------------------------------------------------------ #
     # Phase 1: minimise the sum of artificial variables.
     # ------------------------------------------------------------------ #
     if artificial_columns:
-        phase1 = [0.0] * (total_columns + 1)
-        for column in artificial_columns:
-            phase1[column] = 1.0
+        artificial_set = set(artificial_columns)
+        phase1: SparseRow = {column: 1.0 for column in artificial_columns}
+        phase1_rhs = [0.0]
         # Express the phase-1 objective in terms of non-basic variables.
-        for row, basic_column in zip(tableau, basis):
-            if basic_column in artificial_columns:
-                phase1 = [p - r for p, r in zip(phase1, row)]
-        tableau.append(phase1)
-        status = _run_simplex(tableau, basis, total_columns)
+        for row, bound, basic_column in zip(rows, rhs, basis):
+            if basic_column in artificial_set:
+                for column, value in row.items():
+                    phase1[column] = phase1.get(column, 0.0) - value
+                phase1_rhs[0] -= bound
+        status = _run_simplex(
+            rows, rhs, phase1, phase1_rhs, basis, col_rows, total_columns
+        )
         if status == "unbounded":
             raise PathAnalysisError("phase-1 simplex reported an unbounded problem")
-        phase1_value = -tableau[-1][-1]
-        tableau.pop()
+        phase1_value = -phase1_rhs[0]
         if phase1_value > 1e-6:
-            return SimplexResult(status="infeasible")
+            return PreparedTableau(
+                num_vars, num_slack, rows, rhs, basis, col_rows,
+                artificial_columns, feasible=False,
+            )
         # Drive any artificial variable still in the basis out of it.
         for row_index, basic_column in enumerate(list(basis)):
-            if basic_column in artificial_columns:
+            if basic_column in artificial_set:
                 for column in range(num_vars + num_slack):
-                    if abs(tableau[row_index][column]) > _EPSILON:
-                        _pivot(tableau, basis, row_index, column)
+                    if abs(rows[row_index].get(column, 0.0)) > _EPSILON:
+                        _pivot(rows, rhs, basis, col_rows, row_index, column)
                         break
 
-    # ------------------------------------------------------------------ #
-    # Phase 2: optimise the real objective (artificials pinned to zero).
-    # ------------------------------------------------------------------ #
-    objective_row = [0.0] * (total_columns + 1)
-    for index in range(num_vars):
-        objective_row[index] = -sign * float(objective[index])
-    for column in artificial_columns:
-        objective_row[column] = 1e9  # forbid re-entering the basis
-    # Express in terms of the current basis.
-    for row, basic_column in zip(tableau, basis):
-        coefficient = objective_row[basic_column]
-        if abs(coefficient) > _EPSILON:
-            objective_row = [o - coefficient * r for o, r in zip(objective_row, row)]
-    tableau.append(objective_row)
+    return PreparedTableau(
+        num_vars, num_slack, rows, rhs, basis, col_rows,
+        artificial_columns, feasible=True,
+    )
 
-    status = _run_simplex(tableau, basis, num_vars + num_slack)
+
+def optimise_prepared(
+    prepared: PreparedTableau,
+    objective: Sequence[float],
+    maximise: bool,
+    clone: bool = True,
+) -> SimplexResult:
+    """Phase 2: optimise ``objective`` over a prepared (phase-1) tableau.
+
+    With ``clone=True`` the prepared tableau is left untouched so further
+    objectives can be optimised against the same feasibility basis.
+    """
+    if not prepared.feasible:
+        return SimplexResult(status="infeasible")
+    num_vars = prepared.num_vars
+    num_slack = prepared.num_slack
+    if clone:
+        rows = [dict(row) for row in prepared.rows]
+        rhs = list(prepared.rhs)
+        basis = list(prepared.basis)
+        col_rows = {column: set(members) for column, members in prepared.col_rows.items()}
+    else:
+        rows = prepared.rows
+        rhs = prepared.rhs
+        basis = prepared.basis
+        col_rows = prepared.col_rows
+    sign = 1.0 if maximise else -1.0
+
+    # Optimise the real objective (artificials pinned to zero).
+    objective_row: SparseRow = {}
+    for index in range(num_vars):
+        value = -sign * float(objective[index])
+        if value:
+            objective_row[index] = value
+    for column in prepared.artificial_columns:
+        objective_row[column] = 1e9  # forbid re-entering the basis
+    objective_rhs = [0.0]
+    # Express in terms of the current basis.
+    for row, bound, basic_column in zip(rows, rhs, basis):
+        coefficient = objective_row.get(basic_column, 0.0)
+        if abs(coefficient) > _EPSILON:
+            for column, value in row.items():
+                objective_row[column] = objective_row.get(column, 0.0) - coefficient * value
+            objective_rhs[0] -= coefficient * bound
+
+    status = _run_simplex(
+        rows, rhs, objective_row, objective_rhs, basis, col_rows, num_vars + num_slack
+    )
     if status == "unbounded":
         return SimplexResult(status="unbounded")
 
     values = [0.0] * num_vars
     for row_index, basic_column in enumerate(basis):
         if basic_column < num_vars:
-            values[basic_column] = tableau[row_index][-1]
+            values[basic_column] = rhs[row_index]
     objective_value = sum(c * v for c, v in zip(objective, values))
     return SimplexResult(status="optimal", objective=objective_value, values=values)
+
+
+def _sparse(coefficients: Sequence[float]) -> SparseRow:
+    return {
+        index: float(value)
+        for index, value in enumerate(coefficients)
+        if float(value) != 0.0
+    }
+
+
+def _nonzero(row: SparseRow) -> SparseRow:
+    """Drop explicit zeros and coerce coefficients to float."""
+    return {index: float(value) for index, value in row.items() if float(value) != 0.0}

@@ -1,0 +1,184 @@
+"""Engine-equivalence guard for the analyzer performance overhaul.
+
+The WTO-scheduled heap worklist, the copy-on-write abstract states and the
+sparse simplex are pure performance rebuilds: they must not change a single
+analysis result.  This module pins the results the *pre-overhaul* engine
+computed (corpus cases, 50 generator seeds, and the converged value-analysis
+fixpoints of the two paper workloads) and asserts the current engine
+reproduces them exactly.
+
+If a future PR intentionally changes analysis precision, these pins must be
+re-derived — the point is that such a change can never happen silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.analysis.value import ValueAnalysis
+from repro.cfg.loops import find_loops
+from repro.cfg.reconstruct import reconstruct_program
+from repro.testing import check_case, generate_case, load_corpus
+from repro.testing.oracle import OracleConfig
+from repro.workloads import flight_control, message_handler
+
+_CONFIG = OracleConfig(max_input_vectors=3)
+
+#: (wcet, bcet) per generator seed, computed by the pre-overhaul engine
+#: (PR 1 state, commit 857f3c6) with OracleConfig(max_input_vectors=3).
+PINNED_SEED_BOUNDS = {
+    1: (22745, 70),
+    2: (8638, 205),
+    3: (21170, 148),
+    4: (2873, 67),
+    5: (2248, 126),
+    6: (2624, 388),
+    7: (9250, 601),
+    8: (67861, 148),
+    9: (83, 83),
+    10: (5172, 332),
+    11: (16821, 415),
+    12: (11248, 232),
+    13: (34576, 119),
+    14: (58500, 436),
+    15: (95, 95),
+    16: (9530, 167),
+    17: (8974, 398),
+    18: (783, 98),
+    19: (1730, 332),
+    20: (1304, 125),
+    21: (29546, 118),
+    22: (828, 153),
+    23: (115, 115),
+    24: (198, 198),
+    25: (18794, 227),
+    26: (17756, 517),
+    27: (8486, 156),
+    28: (256, 255),
+    29: (164, 106),
+    30: (155, 86),
+    31: (674, 263),
+    32: (5447, 382),
+    33: (6778, 483),
+    34: (102, 102),
+    35: (23086, 154),
+    36: (1338, 77),
+    37: (1249, 208),
+    38: (2385, 362),
+    39: (53270, 101),
+    40: (2279, 82),
+    41: (616, 370),
+    42: (23024, 270),
+    43: (843, 297),
+    44: (359, 75),
+    45: (55, 55),
+    46: (258, 67),
+    47: (102, 102),
+    48: (128, 128),
+    49: (47948, 167),
+    50: (5910, 341),
+}
+
+#: (wcet, bcet) per corpus case, same provenance.
+PINNED_CORPUS_BOUNDS = {
+    "adversarial-aliasing-pointers": (263, 263),
+    "adversarial-deep-call-chain": (646, 646),
+    "adversarial-irreducible-goto-loop": (104, 42),
+    "regress-branch-penalty-fallthrough": (11, 11),
+    "regress-context-pointer-arg": (78, 78),
+    "regress-xor-negative-constant": (57, 35),
+}
+
+#: (state digest, solver iterations) of the converged value-analysis
+#: fixpoint per workload function, same provenance.
+PINNED_VALUE_FIXPOINTS = {
+    "flight_control/control_law": ("7ed6cdb8c19c0611", 12),
+    "flight_control/filter_attitude": ("0f6e5caee4bdae4c", 12),
+    "flight_control/main": ("a9545e00697889f7", 6),
+    "flight_control/poll_landing_gear": ("afbadc288fcd2c52", 12),
+    "message_handler/handle_message": ("28e6365cd138c909", 26),
+    "message_handler/main": ("5a87ca603aa4c2cb", 2),
+}
+
+def _state_digest(result) -> str:
+    """Canonical digest of a converged per-block value-analysis fixpoint."""
+    digest = hashlib.sha256()
+    for block in sorted(result.block_in):
+        state = result.block_in[block]
+        digest.update(f"{block}|{state.reachable}|".encode())
+        if state.reachable:
+            registers = ",".join(
+                f"{name}={value}"
+                for name, value in sorted(state.registers.items())
+                if not value.is_top
+            )
+            facts = ",".join(
+                f"{register}:{fact.relation.value}:{fact.lhs}:{fact.rhs}"
+                for register, fact in sorted(state.facts.items())
+            )
+            digest.update(f"{registers}|{state.memory}|{facts}".encode())
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+class TestSeedBounds:
+    @pytest.mark.parametrize("seed", sorted(PINNED_SEED_BOUNDS))
+    def test_seed_bounds_identical_to_pre_overhaul_engine(self, seed):
+        result = check_case(generate_case(seed), _CONFIG)
+        assert result.ok, f"seed {seed}: {[str(v) for v in result.violations]}"
+        expected_wcet, expected_bcet = PINNED_SEED_BOUNDS[seed]
+        assert (result.wcet_cycles, result.bcet_cycles) == (
+            expected_wcet,
+            expected_bcet,
+        ), f"seed {seed}: bounds diverged from the pre-overhaul engine"
+
+
+class TestCorpusBounds:
+    @pytest.mark.parametrize("name", sorted(PINNED_CORPUS_BOUNDS))
+    def test_corpus_bounds_identical_to_pre_overhaul_engine(self, name):
+        case = next(c for c in load_corpus() if c.name == name)
+        result = check_case(case, _CONFIG)
+        assert result.ok, f"{name}: {[str(v) for v in result.violations]}"
+        assert (result.wcet_cycles, result.bcet_cycles) == tuple(
+            PINNED_CORPUS_BOUNDS[name]
+        ), f"{name}: bounds diverged from the pre-overhaul engine"
+
+
+class TestValueFixpoints:
+    """The solver must produce identical block_in states, not just bounds."""
+
+    @pytest.fixture(scope="class")
+    def workload_results(self):
+        results = {}
+        for module, name in (
+            (flight_control, "flight_control"),
+            (message_handler, "message_handler"),
+        ):
+            program = module.program()
+            program.validate()
+            cfgs, _ = reconstruct_program(
+                program,
+                hints=module.annotations().control_flow_hints,
+                strict=False,
+            )
+            for function_name, cfg in sorted(cfgs.items()):
+                loops = find_loops(cfg)
+                results[f"{name}/{function_name}"] = ValueAnalysis(
+                    program, cfg, loops
+                ).run()
+        return results
+
+    @pytest.mark.parametrize("key", sorted(PINNED_VALUE_FIXPOINTS))
+    def test_fixpoint_states_identical(self, workload_results, key):
+        expected_digest, expected_iterations = PINNED_VALUE_FIXPOINTS[key]
+        result = workload_results[key]
+        assert _state_digest(result) == expected_digest, (
+            f"{key}: converged block_in states diverged from the "
+            "pre-overhaul engine"
+        )
+        assert result.iterations == expected_iterations, (
+            f"{key}: solver evaluation order changed "
+            f"({result.iterations} != {expected_iterations} iterations)"
+        )
