@@ -29,10 +29,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.analysis.summaries import SummaryCache, merge_stats
+from repro.cache import SummaryStore
 from repro.hardware.processor import leon2_like, simple_scalar
 from repro.testing.oracle import OracleConfig
 from repro.testing.sweep import SweepResult, run_sweep
-from repro.wcet import WCETAnalyzer
+from repro.wcet.batch import AnalysisRequest, analyze_batch
 from repro.workloads import flight_control, message_handler
 
 #: Seeds of the sweep half of the macro workload (fixed forever: entries in
@@ -67,8 +69,18 @@ class BenchmarkRecord:
     identity: Dict[str, object]
     workload: Dict[str, int]
     jobs: int = 1
+    #: Function-summary cache accounting: ``enabled`` records whether a
+    #: persistent store was attached (a "warm-capable" run), the counters are
+    #: tier-1/tier-2 hits and misses summed over the whole workload.
+    cache: Dict[str, object] = field(default_factory=dict)
     python: str = field(default_factory=platform.python_version)
     machine: str = field(default_factory=machine_fingerprint)
+
+    @property
+    def cache_mode(self) -> tuple:
+        """(persistent store attached, store was warm) — wall-clock numbers
+        are only comparable between runs with equal cache modes."""
+        return (bool(self.cache.get("enabled")), bool(self.cache.get("warm")))
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -81,45 +93,70 @@ class BenchmarkRecord:
             "phases": {name: round(value, 4) for name, value in sorted(self.phases.items())},
             "identity": self.identity,
             "workload": self.workload,
+            "cache": self.cache,
         }
 
 
 # --------------------------------------------------------------------------- #
 # The two halves of the macro workload
 # --------------------------------------------------------------------------- #
-def run_analysis_half(repeats: int = ANALYSIS_REPEATS):
-    """Analyse the two paper workloads; return (reports, phase_seconds, wall)."""
+def run_analysis_half(repeats: int = ANALYSIS_REPEATS, cache_dir: Optional[str] = None):
+    """Analyse the two paper workloads through the batch API.
+
+    Returns ``(reports, phase_seconds, wall, cache_stats)``.  All analyses of
+    one benchmark run share an in-process summary cache (that *is* the
+    workload now: the engine memoises repeated analyses); ``cache_dir``
+    additionally attaches the persistent tier shared with previous runs.
+    """
     started = time.perf_counter()
     phase_totals: Dict[str, float] = {}
     reports = {}
+    store = SummaryStore(cache_dir) if cache_dir else None
+    cache = SummaryCache(store=store)
     for _ in range(repeats):
         reports = {}
         fc_program = flight_control.program()
         fc_annotations = flight_control.annotations()
         mh_program = message_handler.program()
         mh_annotations = message_handler.annotations()
+        requests = []
         for proc_name, factory in (("simple", simple_scalar), ("leon2", leon2_like)):
-            for mode in (None, "ground", "air"):
-                report = WCETAnalyzer(
-                    fc_program, factory(), annotations=fc_annotations
-                ).analyze(mode=mode)
-                reports[f"flight_control/{proc_name}/{mode or 'all'}"] = report
-            report = WCETAnalyzer(
-                mh_program, factory(), annotations=mh_annotations
-            ).analyze()
-            reports[f"message_handler/{proc_name}"] = report
+            requests.append(
+                AnalysisRequest(
+                    fc_program,
+                    factory(),
+                    annotations=fc_annotations,
+                    all_modes=True,
+                    label=f"flight_control/{proc_name}",
+                )
+            )
+            requests.append(
+                AnalysisRequest(
+                    mh_program,
+                    factory(),
+                    annotations=mh_annotations,
+                    label=f"message_handler/{proc_name}",
+                )
+            )
+        batch = analyze_batch(requests, jobs=1, summary_cache=cache)
+        for request, result in zip(requests, batch.results):
+            if request.all_modes:
+                for mode, report in result.items():
+                    reports[f"{request.label}/{mode or 'all'}"] = report
+            else:
+                reports[request.label] = result
         for report in reports.values():
             for phase, seconds in report.phase_seconds().items():
                 key = f"analysis.{phase}"
                 phase_totals[key] = phase_totals.get(key, 0.0) + seconds
     wall = time.perf_counter() - started
     phase_totals["analysis.wall"] = wall
-    return reports, phase_totals, wall
+    return reports, phase_totals, wall, cache.stats()
 
 
-def run_sweep_half(jobs: int = 1) -> SweepResult:
+def run_sweep_half(jobs: int = 1, cache_dir: Optional[str] = None) -> SweepResult:
     """The 50-seed differential sweep of the macro workload."""
-    config = OracleConfig(max_input_vectors=SWEEP_INPUT_VECTORS)
+    config = OracleConfig(max_input_vectors=SWEEP_INPUT_VECTORS, cache_dir=cache_dir)
     return run_sweep(SWEEP_SEEDS, config, jobs=jobs)
 
 
@@ -131,12 +168,33 @@ def sweep_checksum(sweep: SweepResult) -> str:
     return digest.hexdigest()[:16]
 
 
-def run_macro_workload(label: str, jobs: int = 1) -> BenchmarkRecord:
-    """Run the full macro workload once and package the measurement."""
+def run_macro_workload(
+    label: str, jobs: int = 1, cache_dir: Optional[str] = None
+) -> BenchmarkRecord:
+    """Run the full macro workload once and package the measurement.
+
+    ``cache_dir`` attaches the persistent function-summary store to both
+    halves: the first ("cold") run over a fresh directory fills it, a second
+    ("warm") run reuses it — results are checksum-identical either way, which
+    CI asserts on every push.
+    """
     started = time.perf_counter()
-    reports, phases, _ = run_analysis_half()
-    sweep = run_sweep_half(jobs=jobs)
+    reports, phases, _, analysis_cache_stats = run_analysis_half(cache_dir=cache_dir)
+    sweep = run_sweep_half(jobs=jobs, cache_dir=cache_dir)
     total = time.perf_counter() - started
+
+    cache_stats: Dict[str, object] = {}
+    merge_stats(cache_stats, analysis_cache_stats)
+    merge_stats(cache_stats, sweep.cache_stats())
+    cache_stats["enabled"] = bool(cache_dir)
+    # A run is "warm" only when the store served it completely (hits and no
+    # recomputation): its wall clock is only comparable against other fully
+    # warm runs (see check_regression).  Partially warm runs are classified
+    # cold — they can only be faster than a cold baseline, and the gate is
+    # one-sided.
+    cache_stats["warm"] = (
+        cache_stats.get("tier2_hits", 0) > 0 and cache_stats.get("puts", 1) == 0
+    )
 
     phases["sweep.wall"] = sweep.seconds
     for phase, seconds in sweep.phase_seconds().items():
@@ -167,6 +225,7 @@ def run_macro_workload(label: str, jobs: int = 1) -> BenchmarkRecord:
         identity=identity,
         workload=workload,
         jobs=jobs,
+        cache=cache_stats,
     )
 
 
@@ -208,9 +267,11 @@ def check_regression(
       sweep checksum is machine-independent, and a perf PR must not silently
       change analysis results;
     * **wall clock** — against the latest entry measured on the *same
-      machine fingerprint* (comparing a laptop's seconds against a CI
-      runner's would fail spuriously).  Without a comparable baseline the
-      wall-clock check is skipped; the uploaded measurement then seeds one.
+      machine fingerprint* with the *same cache mode* (persistent store
+      attached, store warm): comparing a laptop's seconds against a CI
+      runner's — or a warm-cache run against a cold one — would fail
+      spuriously.  Without a comparable baseline the wall-clock check is
+      skipped; the uploaded measurement then seeds one.
 
     Returns an error message on failure, else ``None``.
     """
@@ -233,6 +294,11 @@ def check_regression(
             entry
             for entry in reversed(entries)
             if entry.get("machine") == record.machine
+            and (
+                bool(entry.get("cache", {}).get("enabled")),
+                bool(entry.get("cache", {}).get("warm")),
+            )
+            == record.cache_mode
         ),
         None,
     )

@@ -36,6 +36,12 @@ def main(argv=None) -> int:
         help="worker processes for the sweep half (1 = serial, 0 = all cores)",
     )
     parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent function-summary store for both halves; a first "
+        "(cold) pass over a fresh directory fills it, a second (warm) pass "
+        "reuses it with bit-identical results",
+    )
+    parser.add_argument(
         "--no-append", action="store_true",
         help="measure only; do not write the entry to the trajectory file",
     )
@@ -55,12 +61,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     print("running macro workload (analyses + 50-seed differential sweep)...")
-    record = run_macro_workload(args.label, jobs=args.jobs)
+    record = run_macro_workload(args.label, jobs=args.jobs, cache_dir=args.cache_dir)
 
     print(f"total: {record.total_seconds:.2f}s")
     for phase, seconds in sorted(record.phases.items()):
         print(f"  {phase:<28s} {seconds:8.3f}s")
     print(f"  sweep checksum: {record.identity['sweep_checksum']}")
+    cache = record.cache
+    for tier in ("tier1", "tier2"):
+        hits = cache.get(f"{tier}_hits", 0)
+        misses = cache.get(f"{tier}_misses", 0)
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        print(f"  summary cache {tier}: {hits} hits / {misses} misses ({rate:.0%})")
     if record.identity["sweep_violations"]:
         print(
             f"ERROR: {record.identity['sweep_violations']} soundness violations "

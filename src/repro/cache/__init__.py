@@ -1,0 +1,25 @@
+"""Persistent, content-addressed result caching (tier 2 of the summary cache).
+
+The analyzer's function-summary cache has two tiers: an in-process tier
+(:class:`repro.analysis.summaries.SummaryCache`) and this package's optional
+on-disk :class:`SummaryStore`, shared across processes and runs.  Because
+every key is a content digest of *all* analysis inputs (function IR +
+program layout, processor configuration, annotation facts, call context,
+analysis options), a stored summary can never be served for changed inputs —
+invalidation is structural, not time-based, and a warm cache is guaranteed
+to reproduce the cold path's results bit for bit.
+
+A store can be wired in three ways:
+
+* explicitly per analyzer: ``WCETAnalyzer(..., summary_store=SummaryStore(p))``;
+* per oracle sweep: ``OracleConfig(cache_dir=p)`` (each worker process opens
+  the same directory);
+* process-globally: :func:`configure` installs a default store that every
+  analyzer constructed without an explicit store/cache picks up (the CLIs
+  pass their ``--cache-dir`` explicitly; the differential oracle opts out
+  of the global default altogether).
+"""
+
+from repro.cache.store import SummaryStore, configure, configured_store
+
+__all__ = ["SummaryStore", "configure", "configured_store"]

@@ -1,0 +1,160 @@
+"""On-disk summary store: one pickle file per analysis *bucket*.
+
+Layout
+------
+A bucket groups every summary that shares one ``(program digest, processor
+digest, options digest)`` triple — i.e. all function/context/annotation
+variants of one analysed executable on one platform.  Different operating
+modes of the same program land in the *same* bucket (their item keys differ
+by the per-function annotation digest), so one file read warms a whole
+``analyze_all_modes`` family.
+
+This granularity is deliberate: the macro workloads analyse the same few
+programs many times, and a differential sweep touches each generated program
+exactly once per run — one ``open`` + one ``pickle.load`` per analysis is two
+orders of magnitude cheaper than a file per function summary, and distinct
+programs never contend for the same file.
+
+Concurrency: writes go through a temp file + :func:`os.replace`, so readers
+always see a complete pickle.  Concurrent writers to the same bucket merge
+with the on-disk state right before renaming; a lost race drops at most the
+other writer's newest entries (a re-computable cache miss, never corruption).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional
+
+
+class SummaryStore:
+    """Content-addressed persistent store for pickled analysis summaries.
+
+    Values must be picklable; keys are ``(bucket, item)`` string pairs of
+    content digests.  Loaded buckets are kept in an in-memory page cache, so
+    repeated lookups within one process hit the disk once per bucket.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+        self._pages: Dict[str, Dict[str, object]] = {}
+        self._dirty: Dict[str, Dict[str, object]] = {}
+        #: (mtime_ns, size) of each bucket file as last read/written by this
+        #: instance; lets flush() skip the merge re-read when nobody else
+        #: wrote the file in between.
+        self._sigs: Dict[str, Optional[tuple]] = {}
+        #: I/O statistics (reads = bucket files loaded, writes = files written).
+        self.file_reads = 0
+        self.file_writes = 0
+
+    # ------------------------------------------------------------------ #
+    def _bucket_path(self, bucket: str) -> str:
+        return os.path.join(self.path, f"{bucket}.pkl")
+
+    def _load_bucket(self, bucket: str) -> Dict[str, object]:
+        page = self._pages.get(bucket)
+        if page is not None:
+            return page
+        page = self._read_file(bucket)
+        self._pages[bucket] = page
+        return page
+
+    def _file_sig(self, bucket: str) -> Optional[tuple]:
+        try:
+            stat = os.stat(self._bucket_path(bucket))
+            return (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            return None
+
+    def _read_file(self, bucket: str) -> Dict[str, object]:
+        self._sigs[bucket] = self._file_sig(bucket)
+        try:
+            with open(self._bucket_path(bucket), "rb") as handle:
+                self.file_reads += 1
+                loaded = pickle.load(handle)
+                return loaded if isinstance(loaded, dict) else {}
+        except FileNotFoundError:
+            return {}
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # A torn or stale cache file is a miss, never an error.
+            return {}
+
+    # ------------------------------------------------------------------ #
+    def get(self, bucket: str, item: str) -> Optional[object]:
+        return self._load_bucket(bucket).get(item)
+
+    def put(self, bucket: str, item: str, value: object) -> None:
+        """Stage ``value``; it becomes visible to this process immediately
+        and is persisted on the next :meth:`flush`."""
+        self._load_bucket(bucket)[item] = value
+        self._dirty.setdefault(bucket, {})[item] = value
+
+    def flush(self) -> None:
+        """Persist staged entries, merging with concurrent writers' state."""
+        for bucket, staged in self._dirty.items():
+            page = self._pages.get(bucket) or {}
+            if self._file_sig(bucket) == self._sigs.get(bucket):
+                # Nobody else wrote the file since we last read/wrote it:
+                # our page (which already contains the staged entries) is
+                # the complete truth — no merge re-read needed.
+                merged = dict(page)
+                merged.update(staged)
+            else:
+                # Concurrent writer: overlay our page on their state.  Keys
+                # are content digests, so colliding entries are equivalent.
+                merged = self._read_file(bucket)
+                merged.update(page)
+                merged.update(staged)
+            fd, tmp_path = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(merged, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, self._bucket_path(bucket))
+                self.file_writes += 1
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+            self._pages[bucket] = merged
+            self._sigs[bucket] = self._file_sig(bucket)
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------ #
+    def drop_page_cache(self) -> None:
+        """Forget loaded buckets (tests use this to force re-reads)."""
+        self.flush()
+        self._pages.clear()
+
+    def __len__(self) -> int:
+        """Number of bucket files currently on disk."""
+        return sum(1 for name in os.listdir(self.path) if name.endswith(".pkl"))
+
+
+# --------------------------------------------------------------------------- #
+# Process-global default store (the ``--cache-dir`` CLI hook).
+# --------------------------------------------------------------------------- #
+_DEFAULT_STORE: Optional[SummaryStore] = None
+
+
+def configure(path: Optional[str]) -> Optional[SummaryStore]:
+    """Install (or, with ``None``, clear) the process-global default store.
+
+    Analyzers constructed without an explicit ``summary_store``/
+    ``summary_cache`` pick this up — the hook for embedding applications
+    that cannot thread a store through every construction site.  The
+    repo's own CLIs pass their ``--cache-dir`` explicitly instead, and the
+    differential oracle deliberately ignores this default
+    (``OracleConfig(cache_dir=None)`` means *no* persistent caching).
+    """
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = SummaryStore(path) if path else None
+    return _DEFAULT_STORE
+
+
+def configured_store() -> Optional[SummaryStore]:
+    return _DEFAULT_STORE

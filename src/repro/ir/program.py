@@ -17,6 +17,7 @@ the hardware model (:mod:`repro.hardware.memory`).
 
 from __future__ import annotations
 
+import hashlib
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
@@ -224,6 +225,7 @@ class Program:
         self._data_starts: List[int] = []
         self._data_in_order: List[DataObject] = []
         self._symbol_addresses: Dict[str, int] = {}
+        self._content_digest: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -234,6 +236,7 @@ class Program:
         self._functions[function.name] = function
         self._laid_out = False
         self._validated = False
+        self._content_digest = None
         return function
 
     def add_data(self, data: DataObject) -> DataObject:
@@ -242,6 +245,7 @@ class Program:
         self._data[data.name] = data
         self._laid_out = False
         self._validated = False
+        self._content_digest = None
         return data
 
     # ------------------------------------------------------------------ #
@@ -416,6 +420,36 @@ class Program:
                     )
         self.ensure_layout()
         self._validated = True
+
+    def content_digest(self) -> str:
+        """Stable digest of the laid-out program content.
+
+        Covers every bit of the program the WCET analysis reads: the full
+        instruction stream with assigned addresses, the data objects with
+        their addresses, regions, sizes and initial values, and the entry
+        point.  Two programs with equal digests are indistinguishable to the
+        analyzer, which is what makes the digest safe as (part of) a
+        function-summary cache key.  Computed once and cached; any
+        ``add_function``/``add_data`` invalidates it.
+        """
+        self.ensure_layout()
+        if self._content_digest is None:
+            digest = hashlib.sha256()
+            digest.update(f"entry {self.entry}\n".encode())
+            for function in self._functions.values():
+                digest.update(
+                    f"F {function.name} @{function.entry_address:#x} "
+                    f"params={function.num_params} variadic={function.variadic}\n".encode()
+                )
+                for instr in function.instructions:
+                    digest.update(f"{instr.address:#x} {instr}\n".encode())
+            for obj in self._data.values():
+                digest.update(
+                    f"D {obj.name} @{obj.address:#x} size={obj.size} "
+                    f"region={obj.region} ro={obj.readonly} init={obj.initial}\n".encode()
+                )
+            self._content_digest = digest.hexdigest()[:32]
+        return self._content_digest
 
     # ------------------------------------------------------------------ #
     # Statistics & rendering

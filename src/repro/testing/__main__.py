@@ -55,6 +55,13 @@ def main(argv=None) -> int:
         default=1,
         help="worker processes for the sweep (1 = serial, 0 = all cores)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent function-summary cache directory shared by all "
+        "workers (re-running the same seeds skips the analysis work; "
+        "results are bit-identical either way)",
+    )
     parser.add_argument("--verbose", action="store_true", help="per-program lines")
     parser.add_argument(
         "--no-shrink", action="store_true", help="skip shrinking on failure"
@@ -64,6 +71,7 @@ def main(argv=None) -> int:
     config = OracleConfig(
         processor_factory=_PROCESSORS[args.processor],
         max_input_vectors=args.inputs,
+        cache_dir=args.cache_dir,
     )
     oracle = DifferentialOracle(config)
 

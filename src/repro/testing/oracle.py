@@ -29,6 +29,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.summaries import SummaryCache
+from repro.cache import SummaryStore
 from repro.errors import ReproError
 from repro.hardware import TraceTimer
 from repro.hardware.processor import ProcessorConfig, simple_scalar
@@ -85,6 +87,9 @@ class OracleResult:
     #: Wall-clock seconds per oracle phase ("compile", "analyze", "execute",
     #: "check") — the raw material of the benchmark phase breakdowns.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Function-summary cache counters of the analysis (tier1/tier2 hits and
+    #: misses); all zero when no caching was in play.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -113,6 +118,10 @@ class OracleConfig:
     check_unreachable: bool = True
     #: Deterministic seed for the random tail of the input enumeration.
     input_seed: int = 0
+    #: Directory of a persistent function-summary store shared by every
+    #: worker of a sweep (``None`` disables tier-2 caching).  Purely a
+    #: speed knob: cached and fresh analyses are bit-identical.
+    cache_dir: Optional[str] = None
 
 
 #: Interesting scalar values probed first (clamped into the declared range).
@@ -181,6 +190,12 @@ class DifferentialOracle:
 
     def __init__(self, config: Optional[OracleConfig] = None):
         self.config = config or OracleConfig()
+        # One store instance per oracle: workers of a sweep construct the
+        # oracle once (pool initializer), so bucket pages read from disk are
+        # shared across every case the worker checks.
+        self._summary_store = (
+            SummaryStore(self.config.cache_dir) if self.config.cache_dir else None
+        )
 
     # ------------------------------------------------------------------ #
     def check(self, case) -> OracleResult:
@@ -212,10 +227,21 @@ class DifferentialOracle:
 
         processor = self.config.processor_factory()
         started = time.perf_counter()
+        analyzer = None
         try:
-            report = WCETAnalyzer(
-                program, processor, annotations=rendered.annotations
-            ).analyze(entry=case.entry)
+            # Construction validates the program: an invalid Program emitted
+            # by a compiler bug must surface as an analysis-error violation,
+            # not crash the sweep.
+            # The explicit SummaryCache keeps the oracle's caching contract
+            # literal: cache_dir=None means *no* tier-2 store, even when a
+            # process-global default store is configured elsewhere.
+            analyzer = WCETAnalyzer(
+                program,
+                processor,
+                annotations=rendered.annotations,
+                summary_cache=SummaryCache(store=self._summary_store),
+            )
+            report = analyzer.analyze(entry=case.entry)
         except ReproError as exc:
             result.violations.append(
                 Violation(kind="analysis-error", message=f"{type(exc).__name__}: {exc}")
@@ -223,6 +249,8 @@ class DifferentialOracle:
             return result
         finally:
             result.timings["analyze"] = time.perf_counter() - started
+            if analyzer is not None:
+                result.cache_stats = analyzer.summaries.stats()
         result.report = report
         result.wcet_cycles = report.wcet_cycles
         result.bcet_cycles = report.bcet_cycles

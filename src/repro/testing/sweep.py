@@ -3,26 +3,32 @@
 :func:`run_sweep` checks many generated programs (and/or explicit cases)
 through the differential oracle and aggregates the outcome.  With ``jobs > 1``
 the per-program checks are distributed over a :mod:`multiprocessing` worker
-pool — each program is an independent compile→analyze→replay pipeline, so the
-sweep scales with cores without any shared state.
+pool (the pool plumbing is shared with :mod:`repro.wcet.batch`) — each
+program is an independent compile→analyze→replay pipeline, so the sweep
+scales with cores.  When the oracle configuration names a ``cache_dir``,
+every worker shares the same persistent function-summary store, so repeated
+sweeps over the same seeds skip the analysis work entirely.
 
 The parallel and serial paths produce identical results (same seeds, same
 oracle configuration, same deterministic input enumeration); only wall-clock
 differs.  ``WCETReport`` objects are dropped from the returned results by
 default — they are large, and shipping them back through the pool pickling
-layer would dominate the win of parallelism.  Pass ``keep_reports=True`` (only
-honoured in serial mode) when the caller needs them.
+layer would dominate the win of parallelism.  Pass ``keep_reports=True`` when
+the caller needs them: serial sweeps keep the full reports, parallel sweeps
+ship the :meth:`~repro.wcet.report.WCETReport.slim` form (everything except
+the per-block timing tables) across the pool.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.summaries import merge_stats
 from repro.testing.generator import generate_case
 from repro.testing.oracle import DifferentialOracle, OracleConfig, OracleResult
+from repro.wcet.batch import pool_map, resolve_jobs
 
 
 @dataclass
@@ -56,6 +62,13 @@ class SweepResult:
                 totals[phase] = totals.get(phase, 0.0) + spent
         return totals
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Function-summary cache counters summed over all checked programs."""
+        totals: Dict[str, int] = {}
+        for result in self.results:
+            merge_stats(totals, result.cache_stats)
+        return totals
+
     def bounds_by_case(self) -> Dict[str, tuple]:
         """``case name -> (wcet, bcet)`` — the identity fingerprint of a sweep."""
         return {
@@ -66,30 +79,27 @@ class SweepResult:
 
 # --------------------------------------------------------------------------- #
 # Worker-pool plumbing.  The oracle is constructed once per worker process
-# (initializer) so repeated checks share nothing but also rebuild nothing.
+# (initializer) so repeated checks share nothing but also rebuild nothing —
+# except the persistent summary store, which is the whole point of sharing.
 # --------------------------------------------------------------------------- #
 _WORKER_ORACLE: Optional[DifferentialOracle] = None
+_WORKER_KEEP_REPORTS = False
 
 
-def _init_worker(config: OracleConfig) -> None:
-    global _WORKER_ORACLE
+def _init_worker(config: OracleConfig, keep_reports: bool = False) -> None:
+    global _WORKER_ORACLE, _WORKER_KEEP_REPORTS
     _WORKER_ORACLE = DifferentialOracle(config)
+    _WORKER_KEEP_REPORTS = keep_reports
 
 
 def _check_seed(seed: int) -> OracleResult:
     assert _WORKER_ORACLE is not None
     result = _WORKER_ORACLE.check(generate_case(seed))
-    result.report = None  # reports are heavy; never ship them across the pool
+    if result.report is not None:
+        # Full reports are heavy; ship the slim form when the caller asked
+        # for reports at all, nothing otherwise.
+        result.report = result.report.slim() if _WORKER_KEEP_REPORTS else None
     return result
-
-
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalise a ``--jobs`` value: ``None``/1 → serial, <=0 → all cores."""
-    if jobs is None:
-        return 1
-    if jobs <= 0:
-        return multiprocessing.cpu_count()
-    return jobs
 
 
 def run_sweep(
@@ -120,9 +130,11 @@ def run_sweep(
             results.append(result)
         return SweepResult(results, time.perf_counter() - started, jobs=1)
 
-    chunksize = max(1, len(seeds) // (jobs * 4))
-    with multiprocessing.Pool(
-        processes=jobs, initializer=_init_worker, initargs=(config,)
-    ) as pool:
-        results = pool.map(_check_seed, seeds, chunksize=chunksize)
+    results = pool_map(
+        _check_seed,
+        seeds,
+        jobs,
+        initializer=_init_worker,
+        initargs=(config, keep_reports),
+    )
     return SweepResult(results, time.perf_counter() - started, jobs=jobs)

@@ -35,9 +35,12 @@ from repro.errors import (
     CFGError,
     UnboundedLoopError,
 )
+from repro.analysis import summaries as summary_keys
 from repro.analysis.domains.interval import Interval
 from repro.analysis.domains.memstate import AbstractValue
 from repro.analysis.loopbounds import LoopBoundAnalysis, LoopBoundResult
+from repro.analysis.summaries import FunctionSummary, SummaryCache
+from repro.cache import configured_store
 from repro.analysis.reachability import find_unreachable_code
 from repro.analysis.value import AccessInfo, ValueAnalysis, ValueAnalysisResult
 from repro.annotations.registry import AnnotationSet
@@ -131,6 +134,8 @@ class WCETAnalyzer:
         processor: ProcessorConfig,
         annotations: Optional[AnnotationSet] = None,
         options: Optional[AnalysisOptions] = None,
+        summary_store=None,
+        summary_cache: Optional[SummaryCache] = None,
     ):
         program.validate()
         self.program = program
@@ -138,6 +143,17 @@ class WCETAnalyzer:
         self.annotations = annotations or AnnotationSet()
         self.options = options or AnalysisOptions()
         self.pipeline = PipelineModel(processor)
+        # Two-tier function-summary cache.  ``summary_cache`` shares an
+        # in-process tier between analyzers (the batch API uses this);
+        # ``summary_store`` attaches a persistent on-disk tier.  With neither,
+        # the process-global store configured via ``repro.cache.configure``
+        # (the CLIs' --cache-dir) is picked up, if any.
+        if summary_cache is not None:
+            self.summaries = summary_cache
+        else:
+            if summary_store is None:
+                summary_store = configured_store()
+            self.summaries = SummaryCache(store=summary_store)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -147,11 +163,15 @@ class WCETAnalyzer:
         entry: Optional[str] = None,
         mode: Optional[str] = None,
         error_scenario: Optional[str] = None,
+        _shared: "Optional[_SharedModeState]" = None,
     ) -> WCETReport:
         """Analyse the task starting at ``entry`` (default: the program entry).
 
         ``mode`` selects an operating mode (its facts are merged in), and
         ``error_scenario`` applies a documented error-handling scenario.
+        ``_shared`` carries the cross-mode pipeline state
+        :meth:`analyze_all_modes` threads through its per-mode runs so the
+        mode-independent phases (decoding, loop/value analysis) run once.
         """
         entry = entry or self.program.entry
         annotations = self.annotations.for_mode(mode)
@@ -171,31 +191,41 @@ class WCETAnalyzer:
         clock = _PhaseClock()
 
         # ----------------------------------------------------------------- #
-        # Phase 1: decoding (CFG reconstruction + call graph)
+        # Phase 1: decoding (CFG reconstruction + call graph).  Decoding is
+        # mode independent (hints and strictness are shared by every mode),
+        # so with a shared pipeline it runs once and later modes replay the
+        # recorded outcome.
         # ----------------------------------------------------------------- #
         with clock.phase("decoding"):
-            cfgs, issues = reconstruct_program(
-                self.program,
-                hints=annotations.control_flow_hints,
-                strict=self.options.strict_indirect,
-            )
-            callgraph = build_callgraph(
-                self.program,
-                hints=annotations.control_flow_hints,
-                strict=self.options.strict_indirect,
-            )
-            for issue in issues:
-                challenges.add_tier_one(str(issue))
-            for caller, address in callgraph.unresolved_calls:
-                challenges.add_tier_one(
-                    f"{caller}@{address:#x}: unresolved indirect call (function pointer)"
+            decoded = _shared.decoded if _shared is not None else None
+            if decoded is None:
+                cfgs, issues = reconstruct_program(
+                    self.program,
+                    hints=annotations.control_flow_hints,
+                    strict=self.options.strict_indirect,
                 )
+                callgraph = build_callgraph(
+                    self.program,
+                    hints=annotations.control_flow_hints,
+                    strict=self.options.strict_indirect,
+                )
+                issue_messages = [str(issue) for issue in issues]
+                issue_messages.extend(
+                    f"{caller}@{address:#x}: unresolved indirect call (function pointer)"
+                    for caller, address in callgraph.unresolved_calls
+                )
+                decode_detail = f"{sum(len(c.blocks) for c in cfgs.values())} basic blocks"
+                decoded = (cfgs, callgraph, issue_messages, decode_detail)
+                if _shared is not None:
+                    _shared.decoded = decoded
+                    decode_detail += " (shared across modes)"
+            else:
+                cfgs, callgraph, issue_messages, decode_detail = decoded
+                decode_detail += " (shared across modes)"
+            for message in issue_messages:
+                challenges.add_tier_one(message)
         phases.append(
-            PhaseTiming(
-                "decoding",
-                clock.seconds.get("decoding", 0.0),
-                f"{sum(len(c.blocks) for c in cfgs.values())} basic blocks",
-            )
+            PhaseTiming("decoding", clock.seconds.get("decoding", 0.0), decode_detail)
         )
 
         reachable = callgraph.reachable_from(entry)
@@ -208,6 +238,15 @@ class WCETAnalyzer:
             reports={},
             context_cache=ContextCache(),
             recursive_functions=callgraph.recursive_functions(),
+            summaries=self.summaries,
+            bucket=summary_keys.bucket_digest(
+                self.program.content_digest(), self.processor, self.options
+            ),
+            hints_dig=summary_keys.hints_digest(annotations),
+            loops_by_function=(
+                _shared.loops_by_function if _shared is not None else {}
+            ),
+            value_memo=(_shared.value_memo if _shared is not None else {}),
         )
 
         # ----------------------------------------------------------------- #
@@ -261,13 +300,28 @@ class WCETAnalyzer:
             error_scenario=error_scenario,
             annotation_summary=annotations.summary(),
         )
+        self.summaries.flush()
         return report
 
     def analyze_all_modes(self, entry: Optional[str] = None) -> Dict[Optional[str], WCETReport]:
-        """Analyse the mode-unaware case plus every declared operating mode."""
-        results: Dict[Optional[str], WCETReport] = {None: self.analyze(entry=entry)}
+        """Analyse the mode-unaware case plus every declared operating mode.
+
+        The per-mode runs share one pipeline state: decoding runs once, and
+        the loop/value analysis of every function is memoised on its actual
+        inputs (entry register values, globals assumption), so a mode that
+        only adds path-level facts (flow constraints, infeasible paths, loop
+        bounds) re-runs none of the mode-independent phases — visible as
+        near-zero "decoding" and "loop/value analysis" timings in every
+        report after the first.  Functions whose full analysis inputs are
+        unchanged by a mode are shared wholesale through the function-summary
+        cache.
+        """
+        shared = _SharedModeState()
+        results: Dict[Optional[str], WCETReport] = {
+            None: self.analyze(entry=entry, _shared=shared)
+        }
         for mode_name in self.annotations.mode_names():
-            results[mode_name] = self.analyze(entry=entry, mode=mode_name)
+            results[mode_name] = self.analyze(entry=entry, mode=mode_name, _shared=shared)
         return results
 
     # ------------------------------------------------------------------ #
@@ -282,24 +336,72 @@ class WCETAnalyzer:
     ) -> FunctionReport:
         cached = run.context_cache.get(context)
         if cached is not None:
+            # Journal the hit as well: a summary being recorded higher up the
+            # stack must capture every context its subtree *consulted*, not
+            # just the ones first registered inside it — a cold run of that
+            # subtree alone would register them itself, and replay has to
+            # reconstruct the same population.
+            run.context_journal.append((context, cached))
             return cached
+
+        # --- function-summary cache probe (tier 1 in-process, tier 2 disk) - #
+        # Members of recursion cycles are excluded: their body analyses use
+        # non-standard semantics (recursive calls charged zero) and their
+        # default-context result is the depth-scaled one installed by
+        # _analyze_recursive_component, so they are re-derived every run.
+        key = None
+        if recursive_component is None and not (
+            run.recursive_functions and name in run.recursive_functions
+        ):
+            key = (
+                run.bucket,
+                summary_keys.summary_item_key(name, context, run.annotation_digest(name)),
+            )
+            summary = run.summaries.get(*key)
+            if summary is not None:
+                return self._install_summary(summary, context, run)
+        challenge_marks = (len(run.challenges.tier_one), len(run.challenges.tier_two))
+        known_reports = set(run.reports)
+        journal_mark = len(run.context_journal)
+        cap_mark = run.cap_binding_events
 
         annotations = run.annotations
         cfg = run.cfgs[name]
-        loops = find_loops(cfg)
+        loops = run.loops_for(name)
 
-        # --- loop/value analysis ------------------------------------------ #
+        # --- loop/value analysis (memoised on its actual inputs) ---------- #
         with run.clock.phase("loop/value analysis"):
             initial_registers = self._initial_registers(name, context, annotations)
-            value_analysis = ValueAnalysis(
-                self.program,
-                cfg,
-                loops,
-                initial_registers=initial_registers,
-                assume_initial_globals=self.options.assume_initial_globals,
+            memo_key = (
+                name,
+                tuple(
+                    sorted(
+                        (register, value.interval.lo, value.interval.hi)
+                        for register, value in initial_registers.items()
+                    )
+                ),
             )
-            values = value_analysis.run()
-            bounds = LoopBoundAnalysis(cfg, loops, values).run()
+            memo_entry = run.value_memo.get(memo_key)
+            if memo_entry is None:
+                value_analysis = ValueAnalysis(
+                    self.program,
+                    cfg,
+                    loops,
+                    initial_registers=initial_registers,
+                    assume_initial_globals=self.options.assume_initial_globals,
+                )
+                values = value_analysis.run()
+                pristine_bounds = LoopBoundAnalysis(cfg, loops, values).run()
+                run.value_memo[memo_key] = (value_analysis, values, pristine_bounds)
+            else:
+                value_analysis, values, pristine_bounds = memo_entry
+            # Loop annotations mutate the bound set (and differ per mode);
+            # the memoised result stays pristine, each run works on a copy.
+            bounds = LoopBoundResult(
+                function_name=pristine_bounds.function_name,
+                bounds=dict(pristine_bounds.bounds),
+                failures=dict(pristine_bounds.failures),
+            )
             loop_reports = self._apply_loop_annotations(
                 name, cfg, loops, bounds, annotations, run
             )
@@ -421,8 +523,57 @@ class WCETAnalyzer:
             ilp_nodes=wcet_result.ilp_nodes,
             context=str(context),
         )
-        run.context_cache.put(context, report)
+        if key is not None and run.cap_binding_events == cap_mark:
+            # Only cache subtrees whose context-sensitivity decisions were
+            # independent of the run-global context population (the
+            # ``max_contexts_per_function`` cap never became binding inside
+            # them): those replay identically under any starting state.
+            run.summaries.put(
+                *key,
+                FunctionSummary(
+                    report=report,
+                    subtree_reports={
+                        fn: rep
+                        for fn, rep in run.reports.items()
+                        if fn not in known_reports
+                    },
+                    contexts=tuple(run.context_journal[journal_mark:]),
+                    tier_one=tuple(run.challenges.tier_one[challenge_marks[0]:]),
+                    tier_two=tuple(run.challenges.tier_two[challenge_marks[1]:]),
+                ),
+            )
+        run.record_context(context, report)
         return report
+
+    def _install_summary(
+        self, summary: FunctionSummary, context: CallContext, run: "_RunState"
+    ) -> FunctionReport:
+        """Replay a cached analysis subtree into this run's state.
+
+        Reconstructs exactly what a cold analysis of the subtree would have
+        left behind: the challenge messages it emitted, the callee reports it
+        added, and the callee contexts it registered (the latter keeps the
+        ``max_contexts_per_function`` cap deterministic between cold and warm
+        runs).
+        """
+        for message in summary.tier_one:
+            run.challenges.add_tier_one(message)
+        for message in summary.tier_two:
+            run.challenges.add_tier_two(message)
+        for fn, rep in summary.subtree_reports.items():
+            run.reports.setdefault(fn, rep)
+        for ctx, rep in summary.contexts:
+            existing = run.context_cache.peek(ctx)
+            if existing is None:
+                run.record_context(ctx, rep)
+            else:
+                # Already registered in this run: journal the consultation
+                # anyway (with the run's own report), exactly as the cold
+                # path does for context-cache hits — a summary being
+                # recorded higher up the stack must see it.
+                run.context_journal.append((ctx, existing))
+        run.record_context(context, summary.report)
+        return summary.report
 
     # ------------------------------------------------------------------ #
     def _analyze_recursive_component(self, members: List[str], run: "_RunState") -> None:
@@ -504,7 +655,7 @@ class WCETAnalyzer:
             )
             run.reports[name] = scaled
             # Later callers must see the scaled cost.
-            run.context_cache.put(CallContext.default(name), scaled)
+            run.record_context(CallContext.default(name), scaled)
 
     # ------------------------------------------------------------------ #
     # Helpers
@@ -693,14 +844,20 @@ class WCETAnalyzer:
                 if arguments:
                     candidate = CallContext.from_arguments(callee, arguments)
                     existing = run.context_cache.contexts_for(callee)
-                    if (
-                        candidate in existing
-                        or len(existing) < self.options.max_contexts_per_function
-                    ):
+                    cap = self.options.max_contexts_per_function
+                    if cap > 0 and len(existing) >= cap:
+                        # The cap is binding: the decision below depends on
+                        # which contexts happen to be registered already —
+                        # run-global state a function summary cannot capture.
+                        # Summaries recorded while this was the case are not
+                        # reusable (see _analyze_function).
+                        run.cap_binding_events += 1
+                    if candidate in existing or len(existing) < cap:
                         context = candidate
-        report = run.context_cache.get(context)
-        if report is None:
-            report = self._analyze_function(callee, context, run)
+        # _analyze_function starts with the (hit/miss-counted) context-cache
+        # lookup for this exact context, so probing here too would count
+        # every cold callee analysis as two misses.
+        report = self._analyze_function(callee, context, run)
         if context.is_default and callee not in run.reports:
             run.reports[callee] = report
         elif callee not in run.reports:
@@ -772,6 +929,24 @@ class WCETAnalyzer:
 
 
 @dataclass
+class _SharedModeState:
+    """Mode-independent pipeline state shared by :meth:`analyze_all_modes`.
+
+    * ``decoded`` — the CFGs, call graph, decoding-issue messages and the
+      phase-detail string, produced once by the first per-mode run;
+    * ``loops_by_function`` — loop forests, a pure function of the CFGs;
+    * ``value_memo`` — converged value analyses and pristine loop-bound
+      results, keyed by ``(function, canonical entry-register values)``:
+      the complete set of inputs the loop/value phase depends on once the
+      CFG is fixed.  Modes that only add path-level facts share every entry.
+    """
+
+    decoded: Optional[tuple] = None
+    loops_by_function: Dict[str, LoopForest] = field(default_factory=dict)
+    value_memo: Dict[tuple, tuple] = field(default_factory=dict)
+
+
+@dataclass
 class _RunState:
     """Mutable state shared by one :meth:`WCETAnalyzer.analyze` run."""
 
@@ -783,6 +958,51 @@ class _RunState:
     reports: Dict[str, FunctionReport]
     context_cache: ContextCache
     recursive_functions: Set[str] = None
+    #: The analyzer's two-tier function-summary cache plus this run's
+    #: content-addressed key material.
+    summaries: SummaryCache = None
+    bucket: str = ""
+    hints_dig: str = ""
+    #: Loop forests / loop-value memo (shared across modes when the run is
+    #: part of an ``analyze_all_modes`` pipeline, run-local otherwise).
+    loops_by_function: Dict[str, LoopForest] = field(default_factory=dict)
+    value_memo: Dict[tuple, tuple] = field(default_factory=dict)
+    #: Every (context, report) registration of this run, in order; function
+    #: summaries record the slice made inside their subtree so a cache hit
+    #: can replay the exact same registrations.
+    context_journal: List[Tuple[CallContext, FunctionReport]] = field(
+        default_factory=list
+    )
+    #: Per-function annotation digests (memoised; keyed over the callee
+    #: closure, so they are stable for the whole run).
+    _annot_digests: Dict[str, str] = field(default_factory=dict)
+    #: Times the ``max_contexts_per_function`` cap was binding (a callee's
+    #: registered-context count had reached it when a call site was charged).
+    #: Subtrees containing such events are never summarised: their outcome
+    #: depends on run-global state the cache key cannot capture.
+    cap_binding_events: int = 0
+
+    # ------------------------------------------------------------------ #
+    def record_context(self, context: CallContext, report: FunctionReport) -> None:
+        self.context_cache.put(context, report)
+        self.context_journal.append((context, report))
+
+    def loops_for(self, name: str) -> LoopForest:
+        loops = self.loops_by_function.get(name)
+        if loops is None:
+            loops = find_loops(self.cfgs[name])
+            self.loops_by_function[name] = loops
+        return loops
+
+    def annotation_digest(self, name: str) -> str:
+        digest = self._annot_digests.get(name)
+        if digest is None:
+            closure = summary_keys.callee_closure(self.callgraph, name)
+            digest = summary_keys.function_annotation_digest(
+                self.annotations, closure, self.hints_dig
+            )
+            self._annot_digests[name] = digest
+        return digest
 
 
 def _resolve_location(cfg: ControlFlowGraph, location) -> Optional[int]:

@@ -1,0 +1,201 @@
+"""Parallel batch-analysis API: many whole-program analyses, one cache.
+
+:func:`analyze_batch` fans a list of :class:`AnalysisRequest` objects over a
+:mod:`multiprocessing` worker pool (or runs them serially for ``jobs <= 1``).
+Every worker shares the same persistent summary store (``cache_dir``), and
+within each process all requests share one in-process
+:class:`~repro.analysis.summaries.SummaryCache` — so analysing the same
+program on the same platform twice, whether across requests, across workers
+or across separate batch runs, pays for the analysis once.  Results are
+deterministic and identical to serial execution: the cache is content
+addressed, so a hit can only skip work, never change a bound.
+
+The module also owns the generic pool plumbing (:func:`resolve_jobs`,
+:func:`pool_map`) used by :mod:`repro.testing.sweep`, so every parallel
+entry point in the repo schedules work the same way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.summaries import SummaryCache, merge_stats
+from repro.annotations.registry import AnnotationSet
+from repro.cache import SummaryStore, configured_store
+from repro.hardware.processor import ProcessorConfig
+from repro.ir.program import Program
+from repro.wcet.analyzer import AnalysisOptions, WCETAnalyzer
+from repro.wcet.report import WCETReport
+
+
+# --------------------------------------------------------------------------- #
+# Generic pool plumbing (shared with the differential sweep)
+# --------------------------------------------------------------------------- #
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/1 → serial, <=0 → all cores."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return multiprocessing.cpu_count()
+    return jobs
+
+
+def pool_map(
+    function: Callable,
+    items: Sequence,
+    jobs: int,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+) -> List:
+    """``pool.map`` with the repo's standard chunking, preserving item order."""
+    chunksize = max(1, len(items) // (jobs * 4))
+    with multiprocessing.Pool(
+        processes=jobs, initializer=initializer, initargs=initargs
+    ) as pool:
+        return pool.map(function, items, chunksize=chunksize)
+
+
+# --------------------------------------------------------------------------- #
+# Requests and results
+# --------------------------------------------------------------------------- #
+@dataclass
+class AnalysisRequest:
+    """One whole-program analysis to run (pickled to pool workers)."""
+
+    program: Program
+    processor: ProcessorConfig
+    annotations: Optional[AnnotationSet] = None
+    options: Optional[AnalysisOptions] = None
+    entry: Optional[str] = None
+    mode: Optional[str] = None
+    error_scenario: Optional[str] = None
+    #: Analyse the mode-unaware case plus every declared operating mode
+    #: through the shared mode pipeline; the result is then a dict
+    #: ``{mode_name_or_None: report}`` instead of a single report.
+    all_modes: bool = False
+    label: str = ""
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :func:`analyze_batch` call."""
+
+    #: One entry per request, in request order: a :class:`WCETReport`, or a
+    #: ``{mode: report}`` dict for ``all_modes`` requests.
+    results: List[Union[WCETReport, Dict[Optional[str], WCETReport]]]
+    #: Summary-cache hit/miss counters aggregated over every worker.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+    jobs: int = 1
+
+    def reports(self) -> List[WCETReport]:
+        """Flatten per-mode dictionaries into one report list."""
+        flat: List[WCETReport] = []
+        for result in self.results:
+            if isinstance(result, dict):
+                flat.extend(result.values())
+            else:
+                flat.append(result)
+        return flat
+
+
+# --------------------------------------------------------------------------- #
+def _execute(request: AnalysisRequest, cache: SummaryCache):
+    analyzer = WCETAnalyzer(
+        request.program,
+        request.processor,
+        annotations=request.annotations,
+        options=request.options,
+        summary_cache=cache,
+    )
+    if request.all_modes:
+        return analyzer.analyze_all_modes(entry=request.entry)
+    return analyzer.analyze(
+        entry=request.entry,
+        mode=request.mode,
+        error_scenario=request.error_scenario,
+    )
+
+
+_WORKER_CACHE: Optional[SummaryCache] = None
+
+
+def _init_batch_worker(cache_dir: Optional[str]) -> None:
+    global _WORKER_CACHE
+    store = SummaryStore(cache_dir) if cache_dir else None
+    _WORKER_CACHE = SummaryCache(store=store)
+
+
+def _run_request(request: AnalysisRequest):
+    assert _WORKER_CACHE is not None
+    before = _WORKER_CACHE.stats()
+    result = _execute(request, _WORKER_CACHE)
+    after = _WORKER_CACHE.stats()
+    delta = {key: after[key] - before.get(key, 0) for key in after}
+    return result, delta
+
+
+# --------------------------------------------------------------------------- #
+def analyze_batch(
+    requests: Sequence[AnalysisRequest],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    summary_cache: Optional[SummaryCache] = None,
+) -> BatchResult:
+    """Analyse every request, optionally in parallel, sharing the cache.
+
+    ``jobs``: ``None``/1 serial, ``0`` all cores, else that many workers.
+    ``cache_dir`` attaches the persistent tier-2 store (created on demand)
+    in every worker; with ``jobs <= 1`` an explicit ``summary_cache`` may be
+    passed instead to share an in-process tier with the caller.  Parallel and
+    serial execution produce identical reports (modulo wall-clock timings).
+    """
+    requests = list(requests)
+    jobs = resolve_jobs(jobs)
+    started = time.perf_counter()
+
+    if jobs > 1 and summary_cache is not None:
+        raise ValueError(
+            "analyze_batch: an in-process summary_cache cannot be shared "
+            "across pool workers; pass cache_dir to share a persistent "
+            "store instead (or run with jobs=1)"
+        )
+    if cache_dir is None:
+        # Honour the process-global default store in workers too: they are
+        # separate processes, so the path (not the object) is what travels.
+        default_store = configured_store()
+        if default_store is not None:
+            cache_dir = default_store.path
+
+    if jobs <= 1 or len(requests) <= 1:
+        cache = summary_cache
+        if cache is None:
+            store = SummaryStore(cache_dir) if cache_dir else None
+            cache = SummaryCache(store=store)
+        before = cache.stats()
+        results = [_execute(request, cache) for request in requests]
+        after = cache.stats()
+        stats = {key: after[key] - before.get(key, 0) for key in after}
+        return BatchResult(
+            results, stats, seconds=time.perf_counter() - started, jobs=1
+        )
+
+    pairs = pool_map(
+        _run_request,
+        requests,
+        jobs,
+        initializer=_init_batch_worker,
+        initargs=(cache_dir,),
+    )
+    stats: Dict[str, int] = {}
+    for _, delta in pairs:
+        merge_stats(stats, delta)
+    return BatchResult(
+        [result for result, _ in pairs],
+        stats,
+        seconds=time.perf_counter() - started,
+        jobs=jobs,
+    )

@@ -15,7 +15,7 @@ A :class:`WCETReport` records, for one analysed task (entry function):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.hardware.pipeline import BlockTimeBounds
@@ -126,6 +126,22 @@ class WCETReport:
         for function_report in self.functions.values():
             result.extend(function_report.loop_reports)
         return result
+
+    def slim(self) -> "WCETReport":
+        """A copy without the per-block timing tables.
+
+        ``block_times`` dominates a report's pickled size (one
+        :class:`~repro.hardware.pipeline.BlockTimeBounds` per basic block);
+        everything a caller aggregating sweep results needs — bounds, loop
+        reports, cache summaries, worst-case path block counts, challenges —
+        survives.  This is what parallel sweeps ship back across the worker
+        pool when ``keep_reports=True``.
+        """
+        slim_functions = {
+            name: replace(function_report, block_times={})
+            for name, function_report in self.functions.items()
+        }
+        return replace(self, functions=slim_functions)
 
     # ------------------------------------------------------------------ #
     def format_text(self) -> str:

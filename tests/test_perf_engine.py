@@ -276,6 +276,25 @@ class TestBenchmarkTrajectory:
         drift = check_regression(path, self._record("ci", 3.0, checksum="zzz"))
         assert drift is not None and "changed" in drift
 
+    def test_wall_clock_not_compared_across_cache_modes(self, tmp_path):
+        from repro.benchmarks import append_record, check_regression
+
+        path = str(tmp_path / "BENCH_perf.json")
+        warm = self._record("warm", 1.0)
+        warm.cache = {"enabled": True, "warm": True, "tier2_hits": 100}
+        append_record(path, warm)
+        # A cold run is 3x slower than the warm baseline, but warm entries
+        # are not wall-clock baselines for cold runs: only the checksum is
+        # compared and the gate passes.
+        cold = self._record("cold", 3.0)
+        cold.cache = {"enabled": True, "warm": False, "tier2_hits": 0}
+        assert check_regression(path, cold) is None
+        # A second warm run 3x slower than the warm baseline does fail.
+        slow_warm = self._record("slow warm", 3.0)
+        slow_warm.cache = {"enabled": True, "warm": True, "tier2_hits": 100}
+        problem = check_regression(path, slow_warm)
+        assert problem is not None and "regression" in problem
+
 
 class TestPhaseClock:
     def test_phases_are_exclusive_and_sum_to_analyze_time(self):
