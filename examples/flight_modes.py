@@ -5,23 +5,25 @@ The flight-control workload has a ground branch and an air branch guarded by a
 mode flag set elsewhere in the system.  Without design-level information the
 analyzer must assume either branch can run; with the documented operating
 modes it produces one — much tighter — bound per mode.
+
+One facade request with ``all_modes=True`` analyses the mode-unaware case plus
+every declared mode through the shared mode pipeline.  The same thing from the
+shell::
+
+    python -m repro analyze --workload flight-control --processor leon2 --all-modes
 """
 
-from repro.hardware import leon2_like
-from repro.wcet import WCETAnalyzer
-from repro.workloads import flight_control
+from repro.api import AnalysisRequest, AnalysisService, Project
 
 
 def main() -> None:
-    program = flight_control.program()
-    annotations = flight_control.annotations()
-    analyzer = WCETAnalyzer(program, leon2_like(), annotations=annotations)
+    project = Project.from_workload("flight-control", processor="leon2")
+    result = AnalysisService(project).analyze(AnalysisRequest(all_modes=True))
 
     print("Flight-control task: WCET bound per operating mode")
     print("---------------------------------------------------")
-    results = analyzer.analyze_all_modes()
-    unaware = results[None].wcet_cycles
-    for mode, report in results.items():
+    unaware = result.reports[None].wcet_cycles
+    for mode, report in result.reports.items():
         label = mode or "(mode unaware)"
         gain = unaware / report.wcet_cycles
         print(f"  {label:<16s} {report.wcet_cycles:>8d} cycles   ({gain:4.1f}x vs. mode-unaware)")

@@ -1,86 +1,40 @@
 #!/usr/bin/env python3
 """MISRA-C predictability audit (paper Section 4.2) of a problematic source file.
 
-Runs the nine-rule checker on a source file that violates most of the rules
-the paper discusses, then compiles it and shows what the WCET analyzer can and
-cannot do with it — connecting each source-level finding to the analysis
-challenge it causes.
+Runs the nine-rule checker on ``examples/problematic.c`` (a source file that
+violates most of the rules the paper discusses), then compiles it and shows
+what the WCET analyzer can and cannot do with it — connecting each
+source-level finding to the analysis challenge it causes.
+
+The checker run goes through the :mod:`repro.api` facade; the same check from
+the shell::
+
+    python -m repro check examples/problematic.c [--json]
 """
 
-from repro.guidelines import GuidelineChecker, assess_predictability
+import os
+
 from repro.annotations import AnnotationSet
+from repro.api import AnalysisService, Project
+from repro.guidelines import assess_predictability
 
-PROBLEMATIC_SOURCE = """
-int samples[32];
-int limits[32];
-int event_count;
-
-/* rule 16.2: recursion */
-int depth_first(int index) {
-    if (index >= 32) {
-        return 0;
-    }
-    return samples[index] + depth_first(index + 1);
-}
-
-/* rule 16.1: variadic */
-int log_event(int code, ...) {
-    event_count = event_count + 1;
-    return code;
-}
-
-int main(void) {
-    int i;
-    float gain;
-    int acc = 0;
-
-    /* rule 13.4: float-controlled loop */
-    for (gain = 0.0; gain < 8.0; gain = gain + 0.5) {
-        acc = acc + 1;
-    }
-
-    /* rule 13.6: counter modified in the body */
-    for (i = 0; i < 32; i++) {
-        acc = acc + samples[i];
-        if (samples[i] > limits[i]) {
-            i = i + 2;
-        }
-    }
-
-    /* rule 20.4: dynamic allocation */
-    int *scratch = malloc(64);
-    scratch[0] = acc;
-
-    /* rule 14.4: goto; rule 14.1: dead code after it */
-    goto finish;
-    acc = acc * 2;
-
-finish:
-    /* rule 14.5: continue (harmless for the analysis) */
-    for (i = 0; i < 8; i++) {
-        if (samples[i] == 0) {
-            continue;
-        }
-        acc = acc + log_event(samples[i]);
-    }
-    return acc + depth_first(0);
-}
-"""
+PROBLEMATIC_FILE = os.path.join(os.path.dirname(__file__), "problematic.c")
 
 
 def main() -> None:
-    report = GuidelineChecker().check_source(PROBLEMATIC_SOURCE)
+    project = Project.from_file(PROBLEMATIC_FILE, cache="off")
+    report = AnalysisService(project).check_guidelines()
     print(report.format_text())
     print()
 
     # A designer who cannot rewrite the code must document its behaviour
     # instead — these are the annotations the paper's Section 4.3 recommends.
     annotations = AnnotationSet()
-    annotations.add_loop_bound("main", "loop_27", 16, comment="gain sweeps 0.0..8.0 by 0.5")
-    annotations.add_loop_bound("main", "loop_32", 32, comment="sample index can only move forward")
+    annotations.add_loop_bound("main", "loop_30", 16, comment="gain sweeps 0.0..8.0 by 0.5")
+    annotations.add_loop_bound("main", "loop_35", 32, comment="sample index can only move forward")
     annotations.add_recursion_bound("depth_first", 33)
 
-    assessment = assess_predictability(PROBLEMATIC_SOURCE, annotations=annotations)
+    assessment = assess_predictability(project.source, annotations=annotations)
     print(assessment.format_text())
 
 

@@ -1,0 +1,59 @@
+/* A deliberately problematic mini-C source: it violates most of the nine
+ * MISRA-C:2004 rules the paper's Section 4.2 examines, one per construct.
+ * Used by examples/guideline_audit.py and by CI's `python -m repro check`
+ * smoke run. */
+
+int samples[32];
+int limits[32];
+int event_count;
+
+/* rule 16.2: recursion */
+int depth_first(int index) {
+    if (index >= 32) {
+        return 0;
+    }
+    return samples[index] + depth_first(index + 1);
+}
+
+/* rule 16.1: variadic */
+int log_event(int code, ...) {
+    event_count = event_count + 1;
+    return code;
+}
+
+int main(void) {
+    int i;
+    float gain;
+    int acc = 0;
+
+    /* rule 13.4: float-controlled loop */
+    for (gain = 0.0; gain < 8.0; gain = gain + 0.5) {
+        acc = acc + 1;
+    }
+
+    /* rule 13.6: counter modified in the body */
+    for (i = 0; i < 32; i++) {
+        acc = acc + samples[i];
+        if (samples[i] > limits[i]) {
+            i = i + 2;
+        }
+    }
+
+    /* rule 20.4: dynamic allocation */
+    int *scratch = malloc(64);
+    scratch[0] = acc;
+
+    /* rule 14.4: goto; rule 14.1: dead code after it */
+    goto finish;
+    acc = acc * 2;
+
+finish:
+    /* rule 14.5: continue (harmless for the analysis) */
+    for (i = 0; i < 8; i++) {
+        if (samples[i] == 0) {
+            continue;
+        }
+        acc = acc + log_event(samples[i]);
+    }
+    return acc + depth_first(0);
+}

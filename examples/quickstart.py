@@ -1,20 +1,26 @@
 #!/usr/bin/env python3
 """Quickstart: compile a mini-C task, bound its WCET, compare with a measurement.
 
-This walks the full Figure 1 pipeline of the paper on a small task:
+This walks the full Figure 1 pipeline of the paper on a small task, driven
+entirely through the :mod:`repro.api` facade:
 
-1. compile mini-C source to the register IR ("the binary"),
-2. run the static WCET analyzer (CFG reconstruction, value & loop-bound
-   analysis, cache/pipeline analysis, IPET path analysis),
-3. execute the program in the interpreter and replay the trace through the
-   concrete caches to get an *observed* execution time,
-4. check the soundness invariant: BCET bound <= observed <= WCET bound.
+1. a :class:`~repro.api.Project` bundles the mini-C source with a processor
+   model (compilation to the register IR happens lazily inside it),
+2. the :class:`~repro.api.AnalysisService` runs the static WCET analyzer
+   (CFG reconstruction, value & loop-bound analysis, cache/pipeline analysis,
+   IPET path analysis),
+3. the interpreter executes the compiled program and the trace is replayed
+   through the concrete caches to get an *observed* execution time,
+4. the soundness invariant is checked: BCET bound <= observed <= WCET bound.
+
+The same analysis is available from the shell as::
+
+    python -m repro analyze --source task.c --processor leon2 --json
 """
 
-from repro.minic import compile_source
+from repro.api import AnalysisService, Project
+from repro.hardware import TraceTimer
 from repro.ir import Interpreter
-from repro.hardware import TraceTimer, leon2_like
-from repro.wcet import WCETAnalyzer
 
 SOURCE = """
 int samples[16];
@@ -42,19 +48,19 @@ int main(void) {
 
 
 def main() -> None:
-    # 1. Source -> IR ("binary").
-    program = compile_source(SOURCE)
+    # 1. One project = sources + processor + cache config; 2. one service call.
+    project = Project.from_source(SOURCE, processor="leon2")
+    program = project.build()
     print(f"compiled {program.instruction_count()} instructions, "
           f"{len(program.functions)} functions")
 
-    # 2. Static WCET analysis on a LEON2-like platform (I+D caches).
-    processor = leon2_like()
-    report = WCETAnalyzer(program, processor).analyze()
+    result = AnalysisService(project).analyze()
+    report = result.report
     print(report.format_text())
 
     # 3. Measurement: concrete execution + trace-driven cache/pipeline replay.
     execution = Interpreter(program).run()
-    observed = TraceTimer(processor, program).time(execution.trace)
+    observed = TraceTimer(project.processor, program).time(execution.trace)
     print(f"observed execution : {observed.cycles} cycles "
           f"({observed.instructions} instructions, "
           f"i$ hits {observed.icache_stats.hits}/{observed.icache_stats.accesses})")

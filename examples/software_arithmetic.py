@@ -5,19 +5,22 @@ Regenerates the lDivMod iteration histogram at a configurable sample count,
 shows the directed worst cases, and contrasts the WCET bounds of the
 estimate-and-correct division with the fixed-iteration restoring division on
 the HCS12X-like (cache-less) platform the original routine targets.
+
+Both analyses go through the :mod:`repro.api` facade; the workload catalog
+supplies the programs, their annotations and their entry points, so no
+program-construction boilerplate is needed here.  From the shell::
+
+    python -m repro analyze --workload ldivmod --processor hcs12x
 """
 
 import sys
 
+from repro.api import AnalysisService, Project
 from repro.arith import (
     RESTORING_ITERATIONS,
     ldivmod,
-    restoring_divmod,
     sample_iteration_histogram,
 )
-from repro.hardware import hcs12x_like
-from repro.wcet import WCETAnalyzer
-from repro.workloads import arithmetic_suite
 
 
 def main() -> None:
@@ -32,15 +35,12 @@ def main() -> None:
           f"(vs. {RESTORING_ITERATIONS} fixed iterations of restoring division)")
     print()
 
-    processor = hcs12x_like()
-    ldivmod_report = WCETAnalyzer(
-        arithmetic_suite.ldivmod_program(),
-        processor,
-        annotations=arithmetic_suite.ldivmod_annotations(),
-    ).analyze(entry="ldivmod")
-    restoring_report = WCETAnalyzer(
-        arithmetic_suite.restoring_program(), processor
-    ).analyze(entry="restoring_div")
+    ldivmod_report = AnalysisService(
+        Project.from_workload("ldivmod", processor="hcs12x")
+    ).analyze().report
+    restoring_report = AnalysisService(
+        Project.from_workload("restoring-division", processor="hcs12x")
+    ).analyze().report
 
     print("Static WCET bounds on the HCS12X-like platform:")
     print(f"  ldivmod (needs worst-case annotation) : {ldivmod_report.wcet_cycles:>10d} cycles")

@@ -3,8 +3,16 @@
 The offline environment has no ``wheel`` package, so PEP 660 editable installs
 (``pip install -e .``) cannot build; this shim lets ``python setup.py develop``
 (or ``pip install -e . --no-build-isolation`` on machines with wheel) work.
+
+An installed package also gets a ``repro`` console script equivalent to the
+``python -m repro`` unified CLI (see :mod:`repro.api.cli`).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={"console_scripts": ["repro = repro.api.cli:main"]},
+)

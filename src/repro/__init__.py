@@ -3,6 +3,8 @@
 The package provides a complete, self-contained static WCET analysis stack and
 the surrounding tooling the paper's discussion is built on:
 
+* :mod:`repro.api` — the unified facade: Project/AnalysisService, serialisable
+  reports, and the single ``python -m repro`` command line.
 * :mod:`repro.ir` — register-level IR ("the binary"), assembler, interpreter.
 * :mod:`repro.cfg` — control-flow reconstruction, loops, call graph.
 * :mod:`repro.analysis` — abstract-interpretation value & loop-bound analyses.
@@ -18,6 +20,7 @@ the surrounding tooling the paper's discussion is built on:
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "ir",
     "cfg",
     "analysis",

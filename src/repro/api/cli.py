@@ -1,0 +1,463 @@
+"""The single ``python -m repro`` command line, built on the facade.
+
+Subcommands (each supports machine-readable ``--json`` output on stdout; with
+``--json`` all progress chatter moves to stderr so stdout stays parseable):
+
+* ``analyze`` — WCET/BCET analysis of a workload, a mini-C file or an
+  assembly file, optionally per operating mode / error scenario;
+* ``check`` — the MISRA-C predictability checker over a mini-C file;
+* ``sweep`` — the differential soundness sweep over generated programs
+  (replaces ``python -m repro.testing``, which now delegates here);
+* ``bench`` — the tracked macro perf workload (replaces
+  ``python -m repro.benchmarks``, which now delegates here);
+* ``report`` — pretty-print (or re-emit) a previously saved ``--json`` file.
+
+Examples::
+
+    python -m repro analyze --workload flight-control --all-modes --json
+    python -m repro analyze --source task.c --annotations task.ann --processor leon2
+    python -m repro check examples/problematic.c
+    python -m repro sweep --count 25 --jobs 0
+    python -m repro bench --check-regression --no-append
+    python -m repro report analysis.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.api.project import PROCESSORS, Project
+from repro.api.serialize import from_json, to_json
+from repro.api.service import AnalysisRequest, AnalysisService
+from repro.errors import ReproError
+
+_PROCESSOR_CHOICES = sorted(PROCESSORS)
+
+
+def _emit(args, payload: dict, text: str) -> None:
+    """Write the subcommand's primary output (JSON or text, file or stdout)."""
+    rendered = json.dumps(payload, indent=2) if args.json else text
+    if getattr(args, "output", None):
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+    else:
+        print(rendered)
+
+
+def _say(args, *values) -> None:
+    """Progress chatter: stderr under --json, stdout otherwise."""
+    print(*values, file=sys.stderr if args.json else sys.stdout)
+
+
+def _cache_argument(args) -> str:
+    if getattr(args, "no_cache", False):
+        return "off"
+    if getattr(args, "cache_dir", None):
+        return args.cache_dir
+    return "auto"
+
+
+def _project_from_args(args) -> Project:
+    if args.workload:
+        project = Project.from_workload(
+            args.workload,
+            processor=args.processor,
+            cache=_cache_argument(args),
+            entry=args.entry,
+        )
+        if args.annotations:
+            # User-supplied annotations are merged *onto* the workload's
+            # built-in ones (e.g. tighter loop bounds), not dropped.
+            from repro.annotations.parser import parse_annotations
+
+            with open(args.annotations, "r", encoding="utf-8") as handle:
+                project.annotations = project.annotations.merge(
+                    parse_annotations(handle.read())
+                )
+        return project
+    path = args.source or args.asm
+    return Project.from_file(
+        path,
+        annotations_path=args.annotations,
+        processor=args.processor,
+        cache=_cache_argument(args),
+        entry=args.entry,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# analyze
+# --------------------------------------------------------------------------- #
+def cmd_analyze(args) -> int:
+    try:
+        project = _project_from_args(args)
+        service = AnalysisService(project)
+        result = service.analyze(
+            AnalysisRequest(
+                entry=args.entry,
+                mode=args.mode,
+                all_modes=args.all_modes,
+                error_scenario=args.error_scenario,
+                check_guidelines=args.guidelines,
+                label=args.label,
+            )
+        )
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    _emit(args, to_json(result), result.format_text())
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# check
+# --------------------------------------------------------------------------- #
+def cmd_check(args) -> int:
+    try:
+        project = Project.from_file(args.file, cache="off")
+        report = AnalysisService(project).check_guidelines()
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    _emit(args, to_json(report), report.format_text())
+    if args.strict and report.tier_one_findings():
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# sweep (the differential soundness harness)
+# --------------------------------------------------------------------------- #
+def cmd_sweep(args) -> int:
+    from repro.testing.corpus import case_payload, load_corpus
+    from repro.testing.generator import generate_case, render_case
+    from repro.testing.oracle import DifferentialOracle, OracleConfig
+    from repro.testing.shrink import Shrinker
+    from repro.testing.sweep import resolve_jobs, run_sweep
+
+    if args.output and not args.json:
+        print("error: sweep --output requires --json", file=sys.stderr)
+        return 2
+    config = OracleConfig(
+        processor_factory=PROCESSORS[args.processor],
+        max_input_vectors=args.inputs,
+        cache_dir=args.cache_dir,
+    )
+    jobs = resolve_jobs(args.jobs)
+    _say(
+        args,
+        f"differential sweep: {args.count} programs, base seed {args.base_seed}, "
+        f"processor {args.processor!r}, {args.inputs} input vectors each, "
+        f"{jobs} worker(s)",
+    )
+    sweep = run_sweep(
+        range(args.base_seed, args.base_seed + args.count), config, jobs=jobs
+    )
+    failures = []
+    for result in sweep.results:
+        if args.verbose or not result.ok:
+            _say(args, f"  seed {result.seed:>6d}: {result.summary()}")
+        if not result.ok:
+            failures.append((result.seed, generate_case(result.seed), result))
+
+    elapsed = sweep.seconds
+    _say(
+        args,
+        f"checked {args.count} programs / {sweep.total_runs} concrete runs in "
+        f"{elapsed:.1f}s ({elapsed / max(args.count, 1) * 1000:.0f} ms/program); "
+        f"{len(failures)} violating",
+    )
+
+    corpus_cases = []
+    if args.corpus:
+        oracle = DifferentialOracle(config)
+        corpus_cases = load_corpus()
+        _say(args, f"replaying {len(corpus_cases)} corpus cases")
+        for case in corpus_cases:
+            result = oracle.check(case)
+            if args.verbose or not result.ok:
+                _say(args, f"  corpus {case.name}: {result.summary()}")
+            if not result.ok:
+                failures.append((None, case, result))
+
+    for seed, case, result in failures:
+        _say(args, "")
+        origin = f"seed {seed}" if seed is not None else f"corpus {case.name}"
+        _say(args, f"=== VIOLATION ({origin}) " + "=" * 40)
+        for violation in result.violations:
+            _say(args, f"  {violation}")
+        if args.no_shrink or seed is None:
+            _say(args, result.source)
+            continue
+        shrunk = Shrinker(config).shrink(case)
+        _say(
+            args,
+            f"  shrunk to {shrunk.line_count} lines "
+            f"({shrunk.reductions} reductions, {shrunk.checks} oracle checks):",
+        )
+        _say(args, render_case(shrunk.case).source)
+        kinds = ",".join(shrunk.result.violation_kinds())
+        payload = case_payload(
+            shrunk.case,
+            f"Found by a differential sweep (seed {seed}): {kinds}. "
+            "Minimised by the shrinker; describe the root cause here.",
+            name=f"regress-seed-{seed}",
+        )
+        _say(args, "  corpus payload (save as tests/corpus/<name>.json after fixing):")
+        _say(args, json.dumps(payload, indent=2))
+        _say(args, f"  reproduce with: generate_case({seed}) — see docs/testing.md")
+
+    if args.json:
+        summary = {
+            "schema": 1,
+            "kind": "SweepSummary",
+            "programs": args.count,
+            "base_seed": args.base_seed,
+            "processor": args.processor,
+            "jobs": jobs,
+            "runs": sweep.total_runs,
+            "seconds": sweep.seconds,
+            "corpus_cases_replayed": len(corpus_cases),
+            "violating": len(failures),
+            "failures": [
+                {
+                    "seed": seed,
+                    "case": result.case_name,
+                    "kinds": result.violation_kinds(),
+                }
+                for seed, _, result in failures
+            ],
+            "cache_stats": sweep.cache_stats(),
+        }
+        _emit(args, summary, "")
+    return 1 if failures else 0
+
+
+# --------------------------------------------------------------------------- #
+# bench (the tracked macro perf workload)
+# --------------------------------------------------------------------------- #
+def cmd_bench(args) -> int:
+    from repro.benchmarks import (
+        append_record,
+        check_regression,
+        run_macro_workload,
+    )
+
+    _say(args, "running macro workload (analyses + 50-seed differential sweep)...")
+    record = run_macro_workload(args.label, jobs=args.jobs, cache_dir=args.cache_dir)
+
+    _say(args, f"total: {record.total_seconds:.2f}s")
+    for phase, seconds in sorted(record.phases.items()):
+        _say(args, f"  {phase:<28s} {seconds:8.3f}s")
+    _say(args, f"  sweep checksum: {record.identity['sweep_checksum']}")
+    cache = record.cache
+    for tier in ("tier1", "tier2"):
+        hits = cache.get(f"{tier}_hits", 0)
+        misses = cache.get(f"{tier}_misses", 0)
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        _say(
+            args,
+            f"  summary cache {tier}: {hits} hits / {misses} misses ({rate:.0%})",
+        )
+    if record.identity["sweep_violations"]:
+        print(
+            f"ERROR: {record.identity['sweep_violations']} soundness violations "
+            "during the benchmark sweep",
+            file=sys.stderr,
+        )
+        return 2
+
+    status = 0
+    if args.check_regression:
+        problem = check_regression(args.output, record, args.max_regression)
+        if problem is None:
+            _say(args, "regression check: OK (within budget of committed baseline)")
+        else:
+            print(f"regression check FAILED: {problem}", file=sys.stderr)
+            status = 1
+
+    if args.measurement_out:
+        with open(args.measurement_out, "w", encoding="utf-8") as handle:
+            json.dump(record.to_json(), handle, indent=2)
+            handle.write("\n")
+        _say(args, f"wrote measurement to {args.measurement_out}")
+
+    if not args.no_append:
+        append_record(args.output, record)
+        _say(args, f"appended entry {record.label!r} to {args.output}")
+
+    if args.json:
+        print(json.dumps(record.to_json(), indent=2))
+    return status
+
+
+# --------------------------------------------------------------------------- #
+# report (pretty-print a saved --json file)
+# --------------------------------------------------------------------------- #
+def cmd_report(args) -> int:
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        obj = from_json(data)
+    except (OSError, json.JSONDecodeError, ReproError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    text = obj.format_text() if hasattr(obj, "format_text") else repr(obj)
+    _emit(args, to_json(obj), text)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="WCET predictability toolkit — one CLI over the repro.api facade",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # analyze ----------------------------------------------------------- #
+    analyze = sub.add_parser(
+        "analyze", help="static WCET/BCET analysis of one program"
+    )
+    target = analyze.add_mutually_exclusive_group(required=True)
+    target.add_argument("--workload", help="named workload from the catalog")
+    target.add_argument("--source", help="mini-C source file")
+    target.add_argument("--asm", help="textual-assembly file")
+    analyze.add_argument("--annotations", help="textual annotation file")
+    analyze.add_argument(
+        "--processor", choices=_PROCESSOR_CHOICES, default="simple",
+        help="processor timing model",
+    )
+    analyze.add_argument("--entry", default=None, help="entry function")
+    analyze.add_argument("--mode", default=None, help="operating mode to analyse")
+    analyze.add_argument(
+        "--all-modes", action="store_true",
+        help="analyse the mode-unaware case plus every declared mode",
+    )
+    analyze.add_argument("--error-scenario", default=None)
+    analyze.add_argument(
+        "--guidelines", action="store_true",
+        help="also run the MISRA predictability checker (mini-C sources only)",
+    )
+    analyze.add_argument("--label", default="", help="label recorded in the result")
+    analyze.add_argument("--cache-dir", default=None, help="persistent summary store")
+    analyze.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent store even if REPRO_CACHE_DIR is set",
+    )
+    analyze.add_argument("--json", action="store_true", help="JSON output")
+    analyze.add_argument("--output", default=None, help="write output to this file")
+    analyze.set_defaults(func=cmd_analyze)
+
+    # check ------------------------------------------------------------- #
+    check = sub.add_parser(
+        "check", help="MISRA-C predictability check of a mini-C file"
+    )
+    check.add_argument("file", help="mini-C source file")
+    check.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when tier-one findings exist",
+    )
+    check.add_argument("--json", action="store_true", help="JSON output")
+    check.add_argument("--output", default=None, help="write output to this file")
+    check.set_defaults(func=cmd_check)
+
+    # sweep ------------------------------------------------------------- #
+    sweep = sub.add_parser(
+        "sweep", help="differential soundness sweep over generated programs"
+    )
+    sweep.add_argument("--count", type=int, default=25, help="programs to generate")
+    sweep.add_argument("--base-seed", type=int, default=1, help="first seed")
+    sweep.add_argument(
+        "--processor", choices=_PROCESSOR_CHOICES, default="simple",
+        help="processor timing model",
+    )
+    sweep.add_argument(
+        "--inputs", type=int, default=4, help="input vectors per program"
+    )
+    sweep.add_argument(
+        "--corpus", action="store_true", help="also replay the checked-in corpus"
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (1 = serial, 0 = all cores)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="persistent function-summary cache directory shared by all "
+        "workers (re-running the same seeds skips the analysis work; "
+        "results are bit-identical either way)",
+    )
+    sweep.add_argument("--verbose", action="store_true", help="per-program lines")
+    sweep.add_argument(
+        "--no-shrink", action="store_true", help="skip shrinking on failure"
+    )
+    sweep.add_argument("--json", action="store_true", help="JSON summary on stdout")
+    sweep.add_argument("--output", default=None, help="write output to this file")
+    sweep.set_defaults(func=cmd_sweep)
+
+    # bench ------------------------------------------------------------- #
+    bench = sub.add_parser(
+        "bench", help="run the macro perf workload and track BENCH_perf.json"
+    )
+    bench.add_argument(
+        "--output", default="BENCH_perf.json", help="trajectory file (repo root)"
+    )
+    bench.add_argument("--label", default="local run", help="entry label")
+    bench.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep half (1 = serial, 0 = all cores)",
+    )
+    bench.add_argument(
+        "--cache-dir", default=None,
+        help="persistent function-summary store for both halves; a first "
+        "(cold) pass over a fresh directory fills it, a second (warm) pass "
+        "reuses it with bit-identical results",
+    )
+    bench.add_argument(
+        "--no-append", action="store_true",
+        help="measure only; do not write the entry to the trajectory file",
+    )
+    bench.add_argument(
+        "--measurement-out", default=None,
+        help="also write the fresh measurement (single entry) to this file",
+    )
+    bench.add_argument(
+        "--check-regression", action="store_true",
+        help="fail if wall-clock regresses beyond --max-regression vs the "
+        "last committed entry, or if analysis results changed",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="allowed fractional slowdown for --check-regression (default 0.20)",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="print the measurement JSON on stdout"
+    )
+    bench.set_defaults(func=cmd_bench)
+
+    # report ------------------------------------------------------------ #
+    report = sub.add_parser(
+        "report", help="pretty-print a saved --json analysis/check result"
+    )
+    report.add_argument("file", help="JSON file written by analyze/check --json")
+    report.add_argument(
+        "--json", action="store_true", help="re-emit normalised JSON instead"
+    )
+    report.add_argument("--output", default=None, help="write output to this file")
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""The tracked performance baseline: ``python -m repro.benchmarks``.
+"""The tracked performance baseline: ``python -m repro bench``.
 
 This package owns the repo's *perf trajectory*.  It runs a fixed macro
 workload —
@@ -30,12 +30,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.summaries import SummaryCache, merge_stats
-from repro.cache import SummaryStore
+from repro.api import Project, resolve_summary_store
 from repro.hardware.processor import leon2_like, simple_scalar
 from repro.testing.oracle import OracleConfig
 from repro.testing.sweep import SweepResult, run_sweep
 from repro.wcet.batch import AnalysisRequest, analyze_batch
-from repro.workloads import flight_control, message_handler
 
 #: Seeds of the sweep half of the macro workload (fixed forever: entries in
 #: BENCH_perf.json are only comparable if every PR measures the same work).
@@ -111,30 +110,32 @@ def run_analysis_half(repeats: int = ANALYSIS_REPEATS, cache_dir: Optional[str] 
     started = time.perf_counter()
     phase_totals: Dict[str, float] = {}
     reports = {}
-    store = SummaryStore(cache_dir) if cache_dir else None
-    cache = SummaryCache(store=store)
+    # Cache wiring through the facade's single precedence resolver; an absent
+    # cache_dir means *no* persistent tier (never a global default), so the
+    # measured workload is exactly what the flags say.
+    cache = SummaryCache(store=resolve_summary_store(cache_dir if cache_dir else "off"))
     for _ in range(repeats):
         reports = {}
-        fc_program = flight_control.program()
-        fc_annotations = flight_control.annotations()
-        mh_program = message_handler.program()
-        mh_annotations = message_handler.annotations()
+        # Fresh projects per repeat: program construction is part of the
+        # measured workload (as it was when the modules were built directly).
+        fc = Project.from_workload("flight-control", cache="off")
+        mh = Project.from_workload("message-handler", cache="off")
         requests = []
         for proc_name, factory in (("simple", simple_scalar), ("leon2", leon2_like)):
             requests.append(
                 AnalysisRequest(
-                    fc_program,
+                    fc.build(),
                     factory(),
-                    annotations=fc_annotations,
+                    annotations=fc.annotations,
                     all_modes=True,
                     label=f"flight_control/{proc_name}",
                 )
             )
             requests.append(
                 AnalysisRequest(
-                    mh_program,
+                    mh.build(),
                     factory(),
-                    annotations=mh_annotations,
+                    annotations=mh.annotations,
                     label=f"message_handler/{proc_name}",
                 )
             )

@@ -1,105 +1,31 @@
-"""CLI of the tracked perf baseline: ``python -m repro.benchmarks``.
+"""Deprecated entry point: ``python -m repro.benchmarks``.
 
-Typical uses::
-
-    # measure and append an entry to the repo-root trajectory file
-    PYTHONPATH=src python -m repro.benchmarks --label "PR 7: xyz"
-
-    # CI smoke: measure, compare against the committed baseline, don't append
-    PYTHONPATH=src python -m repro.benchmarks --check-regression --no-append
+The benchmark CLI moved to the unified command line —
+``python -m repro bench`` (see :mod:`repro.api.cli`).  This shim forwards
+every argument unchanged (the flag surface is identical) and emits a
+:class:`DeprecationWarning` so scripts migrate; it will keep working for the
+foreseeable future.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
+import warnings
+from typing import List, Optional
 
-from repro.benchmarks import (
-    append_record,
-    check_regression,
-    run_macro_workload,
-)
+from repro.api.cli import main as _unified_main
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.benchmarks",
-        description="run the macro perf workload and track BENCH_perf.json",
+def main(argv: Optional[List[str]] = None) -> int:
+    warnings.warn(
+        "python -m repro.benchmarks is deprecated; use 'python -m repro bench' "
+        "(same flags)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    parser.add_argument(
-        "--output", default="BENCH_perf.json", help="trajectory file (repo root)"
-    )
-    parser.add_argument("--label", default="local run", help="entry label")
-    parser.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the sweep half (1 = serial, 0 = all cores)",
-    )
-    parser.add_argument(
-        "--cache-dir", default=None,
-        help="persistent function-summary store for both halves; a first "
-        "(cold) pass over a fresh directory fills it, a second (warm) pass "
-        "reuses it with bit-identical results",
-    )
-    parser.add_argument(
-        "--no-append", action="store_true",
-        help="measure only; do not write the entry to the trajectory file",
-    )
-    parser.add_argument(
-        "--measurement-out", default=None,
-        help="also write the fresh measurement (single entry) to this file",
-    )
-    parser.add_argument(
-        "--check-regression", action="store_true",
-        help="fail if wall-clock regresses beyond --max-regression vs the "
-        "last committed entry, or if analysis results changed",
-    )
-    parser.add_argument(
-        "--max-regression", type=float, default=0.20,
-        help="allowed fractional slowdown for --check-regression (default 0.20)",
-    )
-    args = parser.parse_args(argv)
-
-    print("running macro workload (analyses + 50-seed differential sweep)...")
-    record = run_macro_workload(args.label, jobs=args.jobs, cache_dir=args.cache_dir)
-
-    print(f"total: {record.total_seconds:.2f}s")
-    for phase, seconds in sorted(record.phases.items()):
-        print(f"  {phase:<28s} {seconds:8.3f}s")
-    print(f"  sweep checksum: {record.identity['sweep_checksum']}")
-    cache = record.cache
-    for tier in ("tier1", "tier2"):
-        hits = cache.get(f"{tier}_hits", 0)
-        misses = cache.get(f"{tier}_misses", 0)
-        rate = hits / (hits + misses) if hits + misses else 0.0
-        print(f"  summary cache {tier}: {hits} hits / {misses} misses ({rate:.0%})")
-    if record.identity["sweep_violations"]:
-        print(
-            f"ERROR: {record.identity['sweep_violations']} soundness violations "
-            "during the benchmark sweep",
-            file=sys.stderr,
-        )
-        return 2
-
-    status = 0
-    if args.check_regression:
-        problem = check_regression(args.output, record, args.max_regression)
-        if problem is None:
-            print("regression check: OK (within budget of committed baseline)")
-        else:
-            print(f"regression check FAILED: {problem}", file=sys.stderr)
-            status = 1
-
-    if args.measurement_out:
-        with open(args.measurement_out, "w", encoding="utf-8") as handle:
-            json.dump(record.to_json(), handle, indent=2)
-            handle.write("\n")
-        print(f"wrote measurement to {args.measurement_out}")
-
-    if not args.no_append:
-        append_record(args.output, record)
-        print(f"appended entry {record.label!r} to {args.output}")
-    return status
+    if argv is None:
+        argv = sys.argv[1:]
+    return _unified_main(["bench", *argv])
 
 
 if __name__ == "__main__":

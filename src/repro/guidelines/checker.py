@@ -75,6 +75,17 @@ class GuidelineReport:
     def is_clean(self) -> bool:
         return not self.findings
 
+    def to_json(self) -> dict:
+        from repro.api import serialize
+
+        return serialize.to_json(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "GuidelineReport":
+        from repro.api import serialize
+
+        return serialize.from_json(data, cls)
+
     def summary(self) -> Dict[str, int]:
         return {rule: len(found) for rule, found in sorted(self.by_rule().items())}
 

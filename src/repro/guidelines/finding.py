@@ -50,3 +50,14 @@ class Finding:
             f"[MISRA {self.rule}] {location}: {self.message} "
             f"({self.challenge.value} impact)"
         )
+
+    def to_json(self) -> dict:
+        from repro.api import serialize
+
+        return serialize.to_json(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Finding":
+        from repro.api import serialize
+
+        return serialize.from_json(data, cls)

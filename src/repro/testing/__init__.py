@@ -30,7 +30,7 @@ package turns it into a machine-checked property over arbitrarily many
 
 Run a quick sweep from the command line::
 
-    PYTHONPATH=src python -m repro.testing --count 25 --base-seed 1234
+    PYTHONPATH=src python -m repro sweep --count 25 --base-seed 1234
 """
 
 from repro.testing.generator import (

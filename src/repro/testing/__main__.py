@@ -1,141 +1,31 @@
-"""Command-line differential sweep: ``python -m repro.testing``.
+"""Deprecated entry point: ``python -m repro.testing``.
 
-Generates ``--count`` programs from consecutive seeds starting at
-``--base-seed``, runs the differential oracle on each, prints a per-program
-line (always including the seed, so any failure is reproducible from the CI
-log alone), and exits non-zero if any program violates a soundness invariant.
-
-On a violation the offending program is shrunk and both the minimised source
-and a ready-to-commit corpus JSON payload are printed.
+The differential sweep CLI moved to the unified command line —
+``python -m repro sweep`` (see :mod:`repro.api.cli`).  This shim forwards
+every argument unchanged (the flag surface is identical) and emits a
+:class:`DeprecationWarning` so scripts migrate; it will keep working for the
+foreseeable future.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
+import warnings
+from typing import List, Optional
 
-from repro.hardware.processor import hcs12x_like, leon2_like, mpc5554_like, simple_scalar
-from repro.testing.corpus import case_payload, load_corpus
-from repro.testing.generator import generate_case, render_case
-from repro.testing.oracle import DifferentialOracle, OracleConfig
-from repro.testing.shrink import Shrinker
-from repro.testing.sweep import resolve_jobs, run_sweep
-
-_PROCESSORS = {
-    "simple": simple_scalar,
-    "leon2": leon2_like,
-    "mpc5554": mpc5554_like,
-    "hcs12x": hcs12x_like,
-}
+from repro.api.cli import main as _unified_main
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.testing",
-        description="differential soundness sweep over generated mini-C programs",
+def main(argv: Optional[List[str]] = None) -> int:
+    warnings.warn(
+        "python -m repro.testing is deprecated; use 'python -m repro sweep' "
+        "(same flags)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    parser.add_argument("--count", type=int, default=25, help="programs to generate")
-    parser.add_argument("--base-seed", type=int, default=1, help="first seed")
-    parser.add_argument(
-        "--processor",
-        choices=sorted(_PROCESSORS),
-        default="simple",
-        help="processor timing model",
-    )
-    parser.add_argument(
-        "--inputs", type=int, default=4, help="input vectors per program"
-    )
-    parser.add_argument(
-        "--corpus", action="store_true", help="also replay the checked-in corpus"
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the sweep (1 = serial, 0 = all cores)",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        help="persistent function-summary cache directory shared by all "
-        "workers (re-running the same seeds skips the analysis work; "
-        "results are bit-identical either way)",
-    )
-    parser.add_argument("--verbose", action="store_true", help="per-program lines")
-    parser.add_argument(
-        "--no-shrink", action="store_true", help="skip shrinking on failure"
-    )
-    args = parser.parse_args(argv)
-
-    config = OracleConfig(
-        processor_factory=_PROCESSORS[args.processor],
-        max_input_vectors=args.inputs,
-        cache_dir=args.cache_dir,
-    )
-    oracle = DifferentialOracle(config)
-
-    jobs = resolve_jobs(args.jobs)
-    print(
-        f"differential sweep: {args.count} programs, base seed {args.base_seed}, "
-        f"processor {args.processor!r}, {args.inputs} input vectors each, "
-        f"{jobs} worker(s)"
-    )
-    sweep = run_sweep(
-        range(args.base_seed, args.base_seed + args.count), config, jobs=jobs
-    )
-    failures = []
-    total_runs = sweep.total_runs
-    for result in sweep.results:
-        if args.verbose or not result.ok:
-            print(f"  seed {result.seed:>6d}: {result.summary()}")
-        if not result.ok:
-            failures.append((result.seed, generate_case(result.seed), result))
-
-    elapsed = sweep.seconds
-    print(
-        f"checked {args.count} programs / {total_runs} concrete runs in "
-        f"{elapsed:.1f}s ({elapsed / max(args.count, 1) * 1000:.0f} ms/program); "
-        f"{len(failures)} violating"
-    )
-
-    if args.corpus:
-        corpus = load_corpus()
-        print(f"replaying {len(corpus)} corpus cases")
-        for case in corpus:
-            result = oracle.check(case)
-            if args.verbose or not result.ok:
-                print(f"  corpus {case.name}: {result.summary()}")
-            if not result.ok:
-                failures.append((None, case, result))
-
-    for seed, case, result in failures:
-        print()
-        origin = f"seed {seed}" if seed is not None else f"corpus {case.name}"
-        print(f"=== VIOLATION ({origin}) " + "=" * 40)
-        for violation in result.violations:
-            print(f"  {violation}")
-        if args.no_shrink or seed is None:
-            print(result.source)
-            continue
-        shrunk = Shrinker(config).shrink(case)
-        print(
-            f"  shrunk to {shrunk.line_count} lines "
-            f"({shrunk.reductions} reductions, {shrunk.checks} oracle checks):"
-        )
-        print(render_case(shrunk.case).source)
-        kinds = ",".join(shrunk.result.violation_kinds())
-        payload = case_payload(
-            shrunk.case,
-            f"Found by a differential sweep (seed {seed}): {kinds}. "
-            "Minimised by the shrinker; describe the root cause here.",
-            name=f"regress-seed-{seed}",
-        )
-        print("  corpus payload (save as tests/corpus/<name>.json after fixing):")
-        print(json.dumps(payload, indent=2))
-        print(f"  reproduce with: generate_case({seed}) — see docs/testing.md")
-
-    return 1 if failures else 0
+    if argv is None:
+        argv = sys.argv[1:]
+    return _unified_main(["sweep", *argv])
 
 
 if __name__ == "__main__":

@@ -30,17 +30,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.summaries import SummaryCache
+from repro.api import AnalysisService, Project
+from repro.api import AnalysisRequest as ServiceRequest
 from repro.cache import SummaryStore
 from repro.errors import ReproError
 from repro.hardware import TraceTimer
 from repro.hardware.processor import ProcessorConfig, simple_scalar
 from repro.ir import Interpreter
 from repro.ir.program import Program
-from repro.minic import compile_source
 from repro.cfg.loops import find_loops
 from repro.cfg.reconstruct import reconstruct_program
 from repro.testing.generator import GeneratedCase, GlobalVar, render_case
-from repro.wcet import WCETAnalyzer
 from repro.wcet.report import WCETReport
 
 #: Safety margin multiplier applied to the product-of-ancestor-bounds when
@@ -214,9 +214,23 @@ class DifferentialOracle:
         else:
             rendered = case.rendered()
         result.source = rendered.source
+        processor = self.config.processor_factory()
+        # The oracle is a thin consumer of the repro.api facade; cache="off"
+        # keeps its caching contract literal: cache_dir=None means *no*
+        # tier-2 store, even when a process-global default store is
+        # configured elsewhere — only the explicitly passed summary cache
+        # (with this oracle's own store) is ever in play.
+        project = Project.from_source(
+            rendered.source,
+            entry=case.entry,
+            annotations=rendered.annotations,
+            processor=processor,
+            cache="off",
+            name=case.name,
+        )
         started = time.perf_counter()
         try:
-            program = compile_source(rendered.source, entry=case.entry)
+            program = project.build()
         except ReproError as exc:
             result.violations.append(
                 Violation(kind="compile-error", message=f"{type(exc).__name__}: {exc}")
@@ -225,23 +239,16 @@ class DifferentialOracle:
         finally:
             result.timings["compile"] = time.perf_counter() - started
 
-        processor = self.config.processor_factory()
         started = time.perf_counter()
-        analyzer = None
+        summary_cache = SummaryCache(store=self._summary_store)
         try:
-            # Construction validates the program: an invalid Program emitted
-            # by a compiler bug must surface as an analysis-error violation,
-            # not crash the sweep.
-            # The explicit SummaryCache keeps the oracle's caching contract
-            # literal: cache_dir=None means *no* tier-2 store, even when a
-            # process-global default store is configured elsewhere.
-            analyzer = WCETAnalyzer(
-                program,
-                processor,
-                annotations=rendered.annotations,
-                summary_cache=SummaryCache(store=self._summary_store),
-            )
-            report = analyzer.analyze(entry=case.entry)
+            # Analyzer construction validates the program: an invalid Program
+            # emitted by a compiler bug must surface as an analysis-error
+            # violation, not crash the sweep.
+            service = AnalysisService(project, summary_cache=summary_cache)
+            report = service.analyze(
+                ServiceRequest(entry=case.entry)
+            ).report
         except ReproError as exc:
             result.violations.append(
                 Violation(kind="analysis-error", message=f"{type(exc).__name__}: {exc}")
@@ -249,8 +256,7 @@ class DifferentialOracle:
             return result
         finally:
             result.timings["analyze"] = time.perf_counter() - started
-            if analyzer is not None:
-                result.cache_stats = analyzer.summaries.stats()
+            result.cache_stats = summary_cache.stats()
         result.report = report
         result.wcet_cycles = report.wcet_cycles
         result.bcet_cycles = report.bcet_cycles

@@ -12,7 +12,11 @@ addressed, so a hit can only skip work, never change a bound.
 
 The module also owns the generic pool plumbing (:func:`resolve_jobs`,
 :func:`pool_map`) used by :mod:`repro.testing.sweep`, so every parallel
-entry point in the repo schedules work the same way.
+entry point in the repo schedules work the same way.  Each request is
+*executed* through the :mod:`repro.api` facade (one
+:class:`~repro.api.project.Project` + :class:`~repro.api.service.AnalysisService`
+per request) — this module only contributes the fan-out and the cache
+sharing, never a second analysis surface.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ from repro.annotations.registry import AnnotationSet
 from repro.cache import SummaryStore, configured_store
 from repro.hardware.processor import ProcessorConfig
 from repro.ir.program import Program
-from repro.wcet.analyzer import AnalysisOptions, WCETAnalyzer
+from repro.wcet.analyzer import AnalysisOptions
 from repro.wcet.report import WCETReport
 
 
@@ -104,20 +108,33 @@ class BatchResult:
 
 # --------------------------------------------------------------------------- #
 def _execute(request: AnalysisRequest, cache: SummaryCache):
-    analyzer = WCETAnalyzer(
+    # Each request is served through the repro.api facade — batch is a thin
+    # fan-out layer, not a second implementation of program/cache wiring.
+    # (Function-level import: repro.api.service imports this module for its
+    # analyze_many plumbing.)
+    from repro.api import AnalysisService, Project
+    from repro.api import AnalysisRequest as ServiceRequest
+
+    project = Project.from_program(
         request.program,
-        request.processor,
+        processor=request.processor,
         annotations=request.annotations,
-        options=request.options,
-        summary_cache=cache,
+        cache="off",  # tier-2 wiring is the batch pool's job, not the project's
+    )
+    service = AnalysisService(project, summary_cache=cache)
+    result = service.analyze(
+        ServiceRequest(
+            entry=request.entry,
+            mode=request.mode,
+            all_modes=request.all_modes,
+            error_scenario=request.error_scenario,
+            options=request.options,
+            label=request.label,
+        )
     )
     if request.all_modes:
-        return analyzer.analyze_all_modes(entry=request.entry)
-    return analyzer.analyze(
-        entry=request.entry,
-        mode=request.mode,
-        error_scenario=request.error_scenario,
-    )
+        return result.reports
+    return result.report
 
 
 _WORKER_CACHE: Optional[SummaryCache] = None
@@ -144,6 +161,7 @@ def analyze_batch(
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     summary_cache: Optional[SummaryCache] = None,
+    use_default_store: bool = True,
 ) -> BatchResult:
     """Analyse every request, optionally in parallel, sharing the cache.
 
@@ -152,6 +170,10 @@ def analyze_batch(
     in every worker; with ``jobs <= 1`` an explicit ``summary_cache`` may be
     passed instead to share an in-process tier with the caller.  Parallel and
     serial execution produce identical reports (modulo wall-clock timings).
+    ``use_default_store=False`` suppresses the fallback to the process-global
+    configured store when ``cache_dir`` is absent — callers that already
+    resolved the cache precedence themselves (the :mod:`repro.api` facade)
+    pass this so "caching off" stays off in workers too.
     """
     requests = list(requests)
     jobs = resolve_jobs(jobs)
@@ -163,7 +185,7 @@ def analyze_batch(
             "across pool workers; pass cache_dir to share a persistent "
             "store instead (or run with jobs=1)"
         )
-    if cache_dir is None:
+    if cache_dir is None and use_default_store:
         # Honour the process-global default store in workers too: they are
         # separate processes, so the path (not the object) is what travels.
         default_store = configured_store()

@@ -11,6 +11,10 @@ A :class:`WCETReport` records, for one analysed task (entry function):
   cache accesses, annotation-supplied loop bounds), mirroring Section 3.2 of
   the paper,
 * per-phase wall-clock timings matching the phase structure of Figure 1.
+
+Every report type here serialises to a versioned, stable JSON form and back
+exactly — see :mod:`repro.api.serialize`; the ``to_json``/``from_json``
+methods below are thin conveniences over that module.
 """
 
 from __future__ import annotations
@@ -65,6 +69,17 @@ class ChallengeReport:
     def is_clean(self) -> bool:
         return not self.tier_one and not self.tier_two
 
+    def to_json(self) -> dict:
+        from repro.api import serialize
+
+        return serialize.to_json(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChallengeReport":
+        from repro.api import serialize
+
+        return serialize.from_json(data, cls)
+
 
 @dataclass
 class FunctionReport:
@@ -90,6 +105,17 @@ class FunctionReport:
 
     def total_loop_bound_iterations(self) -> int:
         return sum(r.bound or 0 for r in self.loop_reports)
+
+    def to_json(self) -> dict:
+        from repro.api import serialize
+
+        return serialize.to_json(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FunctionReport":
+        from repro.api import serialize
+
+        return serialize.from_json(data, cls)
 
 
 @dataclass
@@ -142,6 +168,18 @@ class WCETReport:
             for name, function_report in self.functions.items()
         }
         return replace(self, functions=slim_functions)
+
+    def to_json(self) -> dict:
+        """Versioned JSON form (round-trips exactly via :meth:`from_json`)."""
+        from repro.api import serialize
+
+        return serialize.to_json(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "WCETReport":
+        from repro.api import serialize
+
+        return serialize.from_json(data, cls)
 
     # ------------------------------------------------------------------ #
     def format_text(self) -> str:
