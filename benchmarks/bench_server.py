@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Load-generator benchmark for the analysis server (``repro.server``).
+
+Drives N concurrent clients over the macro analysis workload (the
+flight-control task in every operating mode on two processor models, plus
+the message handler on both — the same request family
+``repro.benchmarks.run_analysis_half`` measures) against a live HTTP server,
+and compares the throughput with the *sequential one-shot CLI* baseline —
+one ``python -m repro analyze`` subprocess per request, each paying the full
+import + program-build + cache-warmup cost the server amortises.
+
+The measurement is appended to ``BENCH_perf.json`` under ``server_entries``
+(its own list: the macro trajectory's regression anchors must stay on macro
+entries — see :func:`repro.benchmarks.append_server_record`) together with
+the dedup/cache counters from ``/healthz`` and the pinned flight-control
+identity, which is asserted on **every** returned result: load never changes
+a bound.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_server.py --clients 8 --repeats 4
+    PYTHONPATH=src python benchmarks/bench_server.py --check --no-append
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.api import AnalysisRequest  # noqa: E402
+from repro.benchmarks import append_server_record, machine_fingerprint  # noqa: E402
+from repro.server import AnalysisServer, ProjectSpec, ServerClient  # noqa: E402
+
+#: The pinned flight-control per-mode (WCET, BCET) identity (ISSUE 5 /
+#: tests/test_api.py): every served result must reproduce it exactly.
+FLIGHT_CONTROL_PINS = {None: (2514, 87), "air": (2514, 284), "ground": (161, 87)}
+
+
+def macro_requests():
+    """The unique (spec, request, key) triples of the macro analysis half."""
+    triples = []
+    for processor in ("simple", "leon2"):
+        triples.append(
+            (
+                ProjectSpec(workload="flight-control", processor=processor),
+                AnalysisRequest(all_modes=True, label=f"flight_control/{processor}"),
+                f"flight_control/{processor}",
+            )
+        )
+        triples.append(
+            (
+                ProjectSpec(workload="message-handler", processor=processor),
+                AnalysisRequest(label=f"message_handler/{processor}"),
+                f"message_handler/{processor}",
+            )
+        )
+    return triples
+
+
+# --------------------------------------------------------------------------- #
+# Baseline: sequential one-shot CLI invocations
+# --------------------------------------------------------------------------- #
+def run_cli_baseline(invocations) -> dict:
+    """Run each macro request as its own ``python -m repro analyze`` process."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    started = time.perf_counter()
+    for spec, request, _ in invocations:
+        argv = [
+            sys.executable, "-m", "repro", "analyze",
+            "--workload", spec.workload,
+            "--processor", spec.processor,
+            "--no-cache", "--json",
+        ]
+        if request.all_modes:
+            argv.append("--all-modes")
+        completed = subprocess.run(
+            argv, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"baseline CLI invocation failed: {' '.join(argv)}\n"
+                f"{completed.stderr.decode(errors='replace')}"
+            )
+    seconds = time.perf_counter() - started
+    return {
+        "invocations": len(invocations),
+        "seconds": round(seconds, 4),
+        "throughput_rps": round(len(invocations) / seconds, 4),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Server side: N concurrent clients
+# --------------------------------------------------------------------------- #
+def result_bounds(result) -> dict:
+    return {
+        mode or "all": (report.wcet_cycles, report.bcet_cycles)
+        for mode, report in result.reports.items()
+    }
+
+
+def assert_identity(result, key: str, observed: dict, lock) -> None:
+    """Pin the simple-scalar flight-control bounds; for every request family,
+    require all repeats (across clients, workers and cache states) to agree."""
+    bounds = result_bounds(result)
+    if key == "flight_control/simple":
+        pins = {
+            mode or "all": values for mode, values in FLIGHT_CONTROL_PINS.items()
+        }
+        if bounds != pins:
+            raise AssertionError(
+                f"flight-control identity drift under load: {bounds} != {pins}"
+            )
+    with lock:
+        previous = observed.setdefault(key, bounds)
+    if previous != bounds:
+        raise AssertionError(
+            f"{key}: repeats disagree under load: {bounds} != {previous}"
+        )
+
+
+def run_server_load(url: str, work_items, clients: int) -> dict:
+    """Fan ``work_items`` over ``clients`` threads; assert every identity."""
+    queue = list(enumerate(work_items))
+    lock = threading.Lock()
+    failures = []
+    observed: dict = {}
+
+    def client_loop():
+        client = ServerClient(url, timeout=600)
+        while True:
+            with lock:
+                if not queue:
+                    return
+                index, (spec, request, key) = queue.pop(0)
+            try:
+                result = client.analyze(
+                    spec,
+                    AnalysisRequest(
+                        all_modes=request.all_modes,
+                        mode=request.mode,
+                        label=f"{request.label}#{index}",
+                    ),
+                )
+                assert_identity(result, key, observed, lock)
+            except Exception as exc:  # noqa: BLE001 - collected and re-raised
+                with lock:
+                    failures.append(f"request {index}: {type(exc).__name__}: {exc}")
+                return
+
+    threads = [threading.Thread(target=client_loop) for _ in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    if failures:
+        raise AssertionError("server load failures:\n  " + "\n  ".join(failures))
+    return {
+        "requests": len(work_items),
+        "clients": clients,
+        "seconds": round(seconds, 4),
+        "throughput_rps": round(len(work_items) / seconds, 4),
+        "observed_bounds": {key: dict(value) for key, value in observed.items()},
+    }
+
+
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="server load benchmark vs one-shot CLI baseline"
+    )
+    parser.add_argument("--clients", type=int, default=8, help="concurrent clients")
+    parser.add_argument(
+        "--repeats", type=int, default=4,
+        help="times each unique macro request is submitted (dedup/cache food)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="server worker processes"
+    )
+    parser.add_argument("--label", default="local server run", help="entry label")
+    parser.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_perf.json"),
+        help="trajectory file to append to",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true", help="measure only, do not append"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless server throughput >= --min-speedup x the CLI baseline",
+    )
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    unique = macro_requests()
+    work_items = [triple for _ in range(args.repeats) for triple in unique]
+
+    print(
+        f"server load benchmark: {len(work_items)} requests "
+        f"({len(unique)} unique x {args.repeats}), {args.clients} clients, "
+        f"{args.jobs} server worker(s)"
+    )
+
+    print(f"baseline: {len(unique)} sequential one-shot CLI invocations...")
+    baseline = run_cli_baseline(unique)
+    print(
+        f"  {baseline['seconds']:.2f}s total, "
+        f"{baseline['throughput_rps']:.2f} requests/s"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-server-bench-") as cache_dir:
+        with AnalysisServer(port=0, jobs=args.jobs, cache_dir=cache_dir) as server:
+            load = run_server_load(server.url, work_items, args.clients)
+            stats = server.stats()
+    observed = load.pop("observed_bounds")
+    print(
+        f"server:   {load['seconds']:.2f}s total, "
+        f"{load['throughput_rps']:.2f} requests/s "
+        f"(dedup {stats.dedup_hits}/{stats.submitted} submissions, "
+        f"{stats.executed} executions)"
+    )
+
+    speedup = load["throughput_rps"] / baseline["throughput_rps"]
+    print(f"speedup over one-shot CLI: {speedup:.2f}x")
+
+    tier2 = stats.cache.get("tier2_hits", 0), stats.cache.get("tier2_misses", 0)
+    tier1 = stats.cache.get("tier1_hits", 0), stats.cache.get("tier1_misses", 0)
+    print(
+        f"summary cache: tier1 {tier1[0]}/{sum(tier1)} hits, "
+        f"tier2 {tier2[0]}/{sum(tier2)} hits, {stats.cache.get('puts', 0)} puts"
+    )
+
+    entry = {
+        "label": args.label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine": machine_fingerprint(),
+        "workers": args.jobs,
+        "clients": args.clients,
+        "requests": load["requests"],
+        "unique_requests": len(unique),
+        "seconds": load["seconds"],
+        "throughput_rps": load["throughput_rps"],
+        "baseline_cli": baseline,
+        "speedup": round(speedup, 3),
+        "dedup": {
+            "submitted": stats.submitted,
+            "dedup_hits": stats.dedup_hits,
+            "executed": stats.executed,
+        },
+        "cache": dict(stats.cache),
+        "identity": {
+            key: {mode: list(bounds) for mode, bounds in per_mode.items()}
+            for key, per_mode in sorted(observed.items())
+        },
+    }
+    if not args.no_append:
+        append_server_record(args.output, entry)
+        print(f"appended server entry {args.label!r} to {args.output}")
+    else:
+        print(json.dumps(entry, indent=2))
+
+    if args.check and speedup < args.min_speedup:
+        print(
+            f"FAILED: server throughput is only {speedup:.2f}x the one-shot "
+            f"CLI baseline (required: {args.min_speedup:.1f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

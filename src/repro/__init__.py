@@ -5,6 +5,9 @@ the surrounding tooling the paper's discussion is built on:
 
 * :mod:`repro.api` — the unified facade: Project/AnalysisService, serialisable
   reports, and the single ``python -m repro`` command line.
+* :mod:`repro.server` — the persistent analysis service: job queue with
+  content-addressed dedup, warm worker pool, HTTP/JSON front end and typed
+  client (``python -m repro serve`` / ``repro analyze --remote``).
 * :mod:`repro.ir` — register-level IR ("the binary"), assembler, interpreter.
 * :mod:`repro.cfg` — control-flow reconstruction, loops, call graph.
 * :mod:`repro.analysis` — abstract-interpretation value & loop-bound analyses.
@@ -21,6 +24,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "api",
+    "server",
     "ir",
     "cfg",
     "analysis",

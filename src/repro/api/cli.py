@@ -10,7 +10,10 @@ Subcommands (each supports machine-readable ``--json`` output on stdout; with
   (replaces ``python -m repro.testing``, which now delegates here);
 * ``bench`` — the tracked macro perf workload (replaces
   ``python -m repro.benchmarks``, which now delegates here);
-* ``report`` — pretty-print (or re-emit) a previously saved ``--json`` file.
+* ``report`` — pretty-print (or re-emit) a previously saved ``--json`` file;
+* ``serve`` — run the persistent analysis server (:mod:`repro.server`);
+  ``analyze --remote URL`` sends the same request to such a server instead
+  of analysing locally (results are bit-identical).
 
 Examples::
 
@@ -20,6 +23,16 @@ Examples::
     python -m repro sweep --count 25 --jobs 0
     python -m repro bench --check-regression --no-append
     python -m repro report analysis.json
+    python -m repro serve --port 8472 --jobs 4 --cache-dir .repro-cache
+    python -m repro analyze --workload flight-control --remote http://127.0.0.1:8472
+
+Exit codes (documented contract, see docs/api.md):
+
+* ``0`` — success;
+* ``1`` — the operation ran and failed (analysis error, strict-check
+  findings, sweep violations, benchmark regression, unreachable server);
+* ``2`` — the invocation was unusable (unknown flags, missing/malformed
+  input files, invalid flag combinations) — argparse's own convention.
 """
 
 from __future__ import annotations
@@ -29,12 +42,18 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.api.project import PROCESSORS, Project
-from repro.api.serialize import from_json, to_json
+from repro import __version__
+from repro.api.project import PROCESSORS, Project, ProjectError
+from repro.api.serialize import SchemaError, from_json, to_json
 from repro.api.service import AnalysisRequest, AnalysisService
 from repro.errors import ReproError
 
 _PROCESSOR_CHOICES = sorted(PROCESSORS)
+
+#: The documented exit-code contract of every subcommand.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
 
 
 def _emit(args, payload: dict, text: str) -> None:
@@ -61,40 +80,93 @@ def _cache_argument(args) -> str:
     return "auto"
 
 
-def _project_from_args(args) -> Project:
-    if args.workload:
-        project = Project.from_workload(
-            args.workload,
-            processor=args.processor,
-            cache=_cache_argument(args),
-            entry=args.entry,
-        )
-        if args.annotations:
-            # User-supplied annotations are merged *onto* the workload's
-            # built-in ones (e.g. tighter loop bounds), not dropped.
-            from repro.annotations.parser import parse_annotations
+def _spec_from_args(args):
+    """Build the wire :class:`~repro.server.wire.ProjectSpec` the analyze
+    subcommand describes — one spec serves both the local path (built into a
+    project here) and the ``--remote`` path (shipped to a server)."""
+    from repro.server.wire import ProjectSpec
 
-            with open(args.annotations, "r", encoding="utf-8") as handle:
-                project.annotations = project.annotations.merge(
-                    parse_annotations(handle.read())
-                )
-        return project
+    annotations = None
+    if args.annotations:
+        with open(args.annotations, "r", encoding="utf-8") as handle:
+            annotations = handle.read()
+    if args.workload:
+        return ProjectSpec(
+            workload=args.workload,
+            processor=args.processor,
+            entry=args.entry,
+            annotations=annotations,
+        )
+    import os
+
     path = args.source or args.asm
-    return Project.from_file(
-        path,
-        annotations_path=args.annotations,
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    kind = "assembly" if (args.asm or path.endswith((".s", ".asm"))) else "source"
+    return ProjectSpec(
+        **{kind: text},
         processor=args.processor,
-        cache=_cache_argument(args),
         entry=args.entry,
+        annotations=annotations,
+        name=os.path.basename(path),
     )
+
+
+def _project_from_args(args) -> Project:
+    return _spec_from_args(args).to_project(cache=_cache_argument(args))
 
 
 # --------------------------------------------------------------------------- #
 # analyze
 # --------------------------------------------------------------------------- #
+def _cmd_analyze_remote(args) -> int:
+    from repro.server.client import ClientError, RemoteError, ServerClient
+    from repro.server.wire import WireError
+
+    if args.cache_dir or args.no_cache:
+        print(
+            "note: cache flags are ignored with --remote (the server owns "
+            "its summary store)",
+            file=sys.stderr,
+        )
+    try:
+        spec = _spec_from_args(args)
+    except (OSError, WireError, ProjectError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    request = AnalysisRequest(
+        entry=args.entry,
+        mode=args.mode,
+        all_modes=args.all_modes,
+        error_scenario=args.error_scenario,
+        check_guidelines=args.guidelines,
+        label=args.label,
+    )
+    try:
+        result = ServerClient(args.remote).analyze(
+            spec, request, lane=args.lane, timeout=args.timeout
+        )
+    except (ClientError, RemoteError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    _emit(args, to_json(result), result.format_text())
+    return EXIT_OK
+
+
 def cmd_analyze(args) -> int:
+    if args.remote:
+        return _cmd_analyze_remote(args)
     try:
         project = _project_from_args(args)
+    except (OSError, ProjectError) as exc:
+        # A project we cannot even assemble is a usage error, not an
+        # analysis outcome.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    try:
         service = AnalysisService(project)
         result = service.analyze(
             AnalysisRequest(
@@ -108,9 +180,9 @@ def cmd_analyze(args) -> int:
         )
     except ReproError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     _emit(args, to_json(result), result.format_text())
-    return 0
+    return EXIT_OK
 
 
 # --------------------------------------------------------------------------- #
@@ -119,14 +191,18 @@ def cmd_analyze(args) -> int:
 def cmd_check(args) -> int:
     try:
         project = Project.from_file(args.file, cache="off")
+    except (OSError, ProjectError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
         report = AnalysisService(project).check_guidelines()
     except ReproError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     _emit(args, to_json(report), report.format_text())
     if args.strict and report.tier_one_findings():
-        return 1
-    return 0
+        return EXIT_FAILURE
+    return EXIT_OK
 
 
 # --------------------------------------------------------------------------- #
@@ -141,7 +217,7 @@ def cmd_sweep(args) -> int:
 
     if args.output and not args.json:
         print("error: sweep --output requires --json", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     config = OracleConfig(
         processor_factory=PROCESSORS[args.processor],
         max_input_vectors=args.inputs,
@@ -269,7 +345,7 @@ def cmd_bench(args) -> int:
             "during the benchmark sweep",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_FAILURE
 
     status = 0
     if args.check_regression:
@@ -303,20 +379,76 @@ def cmd_report(args) -> int:
         with open(args.file, "r", encoding="utf-8") as handle:
             data = json.load(handle)
         obj = from_json(data)
-    except (OSError, json.JSONDecodeError, ReproError) as exc:
+    except (OSError, json.JSONDecodeError, SchemaError) as exc:
+        # Missing or malformed input is a usage error: exit 2, never 0.
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_USAGE
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
     text = obj.format_text() if hasattr(obj, "format_text") else repr(obj)
     _emit(args, to_json(obj), text)
-    return 0
+    return EXIT_OK
 
 
 # --------------------------------------------------------------------------- #
+# serve (the persistent analysis server — see repro.server / docs/server.md)
+# --------------------------------------------------------------------------- #
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.server.http import AnalysisServer
+
+    try:
+        server = AnalysisServer(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            verbose=args.verbose,
+        )
+    except OSError as exc:  # port in use, unbindable host, ...
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+
+    server.start()
+    # Parseable by wrapper scripts (CI waits for this line): keep the format.
+    print(
+        f"repro server listening on {server.url} "
+        f"(workers={server.pool.jobs}, cache={args.cache_dir or 'none'})",
+        flush=True,
+    )
+    stop.wait()
+    print("repro server: shutting down (draining workers)...", flush=True)
+    server.shutdown()
+    stats = server.stats()
+    print(
+        f"repro server: done — {stats.submitted} submissions, "
+        f"{stats.executed} executions, {stats.dedup_hits} dedup hits",
+        flush=True,
+    )
+    return EXIT_OK
+
+
+# --------------------------------------------------------------------------- #
+def _add_version(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="WCET predictability toolkit — one CLI over the repro.api facade",
+        epilog="exit codes: 0 success, 1 operation failed, 2 unusable invocation",
     )
+    _add_version(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     # analyze ----------------------------------------------------------- #
@@ -351,6 +483,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("--json", action="store_true", help="JSON output")
     analyze.add_argument("--output", default=None, help="write output to this file")
+    analyze.add_argument(
+        "--remote", default=None, metavar="URL",
+        help="send the request to a running analysis server "
+        "(python -m repro serve) instead of analysing locally; results are "
+        "bit-identical",
+    )
+    analyze.add_argument(
+        "--lane", choices=["interactive", "batch"], default="interactive",
+        help="scheduling lane for --remote submissions (default: interactive)",
+    )
+    analyze.add_argument(
+        "--timeout", type=float, default=None,
+        help="seconds to wait for a --remote result (default: no limit)",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     # check ------------------------------------------------------------- #
@@ -450,6 +596,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--output", default=None, help="write output to this file")
     report.set_defaults(func=cmd_report)
+
+    # serve ------------------------------------------------------------- #
+    serve = sub.add_parser(
+        "serve", help="run the persistent analysis server (see docs/server.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8472,
+        help="TCP port (0 = pick an ephemeral port; default 8472)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = analyse in-process, 0 = all cores)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="persistent function-summary store shared by all workers",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    for subparser in sub.choices.values():
+        _add_version(subparser)
 
     return parser
 

@@ -379,12 +379,47 @@ _LOADERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
 }
 
 
+def register(
+    cls: Type,
+    kind: str,
+    dumper: Callable[[Any], Dict[str, Any]],
+    loader: Callable[[Dict[str, Any]], Any],
+) -> None:
+    """Extension hook: other packages add their own schema-1 kinds.
+
+    :mod:`repro.server.wire` registers the server's wire messages here so
+    they travel through the same versioned envelope machinery as the report
+    types.  ``kind`` must equal ``cls.__name__`` (``from_json(expected=cls)``
+    asserts the kind by class name).  Registering the same kind twice with a
+    different class is a programming error and raises :class:`SchemaError`.
+    """
+    if kind != cls.__name__:
+        raise SchemaError(f"kind {kind!r} must match the class name {cls.__name__!r}")
+    existing = _LOADERS.get(kind)
+    if existing is not None and existing is not loader:
+        raise SchemaError(f"serialised kind {kind!r} is already registered")
+    _DUMPERS.append((cls, dumper))
+    _LOADERS[kind] = loader
+
+
+def _load_extension_kinds() -> None:
+    """Import the packages that register additional kinds (idempotent)."""
+    try:
+        import repro.server.wire  # noqa: F401  (registers the server kinds)
+    except ImportError:  # pragma: no cover - server package always ships
+        pass
+
+
 def to_json(obj: Any) -> Dict[str, Any]:
     """Serialise any supported report object to a JSON-compatible dict."""
     # AnalysisResult lives in repro.api.service (which imports this module);
     # recognise it by duck type to avoid the circular import.
     if type(obj).__name__ == "AnalysisResult" and hasattr(obj, "reports"):
         return _dump_analysis_result(obj)
+    for cls, dumper in _DUMPERS:
+        if isinstance(obj, cls):
+            return dumper(obj)
+    _load_extension_kinds()
     for cls, dumper in _DUMPERS:
         if isinstance(obj, cls):
             return dumper(obj)
@@ -400,6 +435,11 @@ def from_json(data: Dict[str, Any], expected: Optional[Type] = None) -> Any:
     expected_kind = expected.__name__ if expected is not None else None
     kind = _check_envelope(data, expected_kind)
     loader = _LOADERS.get(kind)
+    if loader is None:
+        # Kinds registered by other packages (the server wire messages) are
+        # only present once their module is imported; give them one chance.
+        _load_extension_kinds()
+        loader = _LOADERS.get(kind)
     if loader is None:
         raise SchemaError(f"unknown serialised kind {kind!r}")
     try:

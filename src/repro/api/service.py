@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.summaries import SummaryCache
 from repro.api.project import Project
@@ -192,24 +192,27 @@ class AnalysisService:
             seconds=time.perf_counter() - started,
         )
 
-    def analyze_many(
+    def analyze_iter(
         self,
         requests: Sequence[AnalysisRequest],
         jobs: Optional[int] = None,
-    ) -> List[AnalysisResult]:
-        """Serve many requests, optionally across a process pool.
+    ) -> Iterator[Tuple[int, AnalysisResult]]:
+        """Serve many requests, yielding each result **as it finishes**.
 
-        Thin wrapper over :func:`repro.wcet.batch.analyze_batch` (which in
-        turn executes each request through a service): serial runs share this
+        Yields ``(index, AnalysisResult)`` in completion order (request order
+        when serial).  This is the streaming twin of :meth:`analyze_many` —
+        the analysis server's progress events and incremental sweep reporting
+        ride on it.  Cache wiring is identical: serial runs share this
         service's in-process cache, parallel runs share the project's
         persistent store across workers.
         """
         from repro.wcet.batch import (
             AnalysisRequest as BatchRequest,
-            analyze_batch,
+            analyze_batch_iter,
             resolve_jobs,
         )
 
+        requests = list(requests)
         program = self.project.build()
         batch_requests = [
             BatchRequest(
@@ -227,7 +230,7 @@ class AnalysisService:
         ]
         store = self.project.summary_store()
         parallel = resolve_jobs(jobs) > 1
-        batch = analyze_batch(
+        outcomes = analyze_batch_iter(
             batch_requests,
             jobs=jobs,
             cache_dir=store.path if (store is not None and parallel) else None,
@@ -236,20 +239,39 @@ class AnalysisService:
             # "off"); workers must not fall back to an ambient global store.
             use_default_store=False,
         )
-        results: List[AnalysisResult] = []
-        for request, outcome in zip(requests, batch.results):
+        for index, outcome, stats, seconds in outcomes:
+            request = requests[index]
             reports = outcome if isinstance(outcome, dict) else {request.mode: outcome}
-            results.append(
-                AnalysisResult(
-                    label=request.label or self.project.name,
-                    entry=request.entry or self.project.entry or program.entry,
-                    processor=self.project.processor.name,
-                    reports=reports,
-                    cache_stats=dict(batch.cache_stats),
-                    seconds=batch.seconds,
-                )
+            yield index, AnalysisResult(
+                label=request.label or self.project.name,
+                entry=request.entry or self.project.entry or program.entry,
+                processor=self.project.processor.name,
+                reports=reports,
+                cache_stats=stats,
+                seconds=seconds,
             )
-        return results
+
+    def analyze_many(
+        self,
+        requests: Sequence[AnalysisRequest],
+        jobs: Optional[int] = None,
+        on_result: Optional[Callable[[int, AnalysisResult], None]] = None,
+    ) -> List[AnalysisResult]:
+        """Serve many requests, optionally across a process pool.
+
+        Results come back in request order; each carries its own cache-stat
+        delta and wall time.  ``on_result(index, result)`` — if given — is
+        invoked once per request *as it finishes* (completion order), so
+        callers can report progress without switching to
+        :meth:`analyze_iter`.
+        """
+        requests = list(requests)
+        results: List[Optional[AnalysisResult]] = [None] * len(requests)
+        for index, result in self.analyze_iter(requests, jobs=jobs):
+            results[index] = result
+            if on_result is not None:
+                on_result(index, result)
+        return list(results)
 
     def check_guidelines(self) -> GuidelineReport:
         """Run the MISRA predictability checker over the project's source."""

@@ -16,9 +16,14 @@ orders of magnitude cheaper than a file per function summary, and distinct
 programs never contend for the same file.
 
 Concurrency: writes go through a temp file + :func:`os.replace`, so readers
-always see a complete pickle.  Concurrent writers to the same bucket merge
-with the on-disk state right before renaming; a lost race drops at most the
-other writer's newest entries (a re-computable cache miss, never corruption).
+always see a complete pickle.  Concurrent writers to the same bucket are
+serialised by an advisory per-bucket file lock (``<bucket>.lock``,
+:func:`fcntl.flock`) held across the whole read-merge-write cycle of
+:meth:`SummaryStore.flush` — multi-process writers (the analysis server's
+worker pool, parallel sweeps) can share one store without losing each
+other's entries.  On platforms without ``fcntl`` the lock degrades to the
+old best-effort behaviour: a lost race drops at most the other writer's
+newest entries (a re-computable cache miss, never corruption).
 """
 
 from __future__ import annotations
@@ -26,7 +31,13 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
-from typing import Dict, Optional
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 
 class SummaryStore:
@@ -82,6 +93,25 @@ class SummaryStore:
             # A torn or stale cache file is a miss, never an error.
             return {}
 
+    @contextmanager
+    def _bucket_lock(self, bucket: str) -> Iterator[None]:
+        """Advisory inter-process lock around one bucket's merge cycle.
+
+        The lock lives in a sidecar ``<bucket>.lock`` file (never the pickle
+        itself: :func:`os.replace` swaps the pickle's inode, which would
+        silently detach any lock held on it).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = os.path.join(self.path, f"{bucket}.lock")
+        with open(lock_path, "ab") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     # ------------------------------------------------------------------ #
     def get(self, bucket: str, item: str) -> Optional[object]:
         return self._load_bucket(bucket).get(item)
@@ -93,35 +123,43 @@ class SummaryStore:
         self._dirty.setdefault(bucket, {})[item] = value
 
     def flush(self) -> None:
-        """Persist staged entries, merging with concurrent writers' state."""
+        """Persist staged entries, merging with concurrent writers' state.
+
+        The whole read-merge-write cycle of each bucket runs under the
+        bucket's advisory file lock: between our merge re-read and our
+        :func:`os.replace`, no other process can slip in a write we would
+        clobber, so concurrent flushes from many workers are lossless.
+        """
         for bucket, staged in self._dirty.items():
             page = self._pages.get(bucket) or {}
-            if self._file_sig(bucket) == self._sigs.get(bucket):
-                # Nobody else wrote the file since we last read/wrote it:
-                # our page (which already contains the staged entries) is
-                # the complete truth — no merge re-read needed.
-                merged = dict(page)
-                merged.update(staged)
-            else:
-                # Concurrent writer: overlay our page on their state.  Keys
-                # are content digests, so colliding entries are equivalent.
-                merged = self._read_file(bucket)
-                merged.update(page)
-                merged.update(staged)
-            fd, tmp_path = tempfile.mkstemp(dir=self.path, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(merged, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp_path, self._bucket_path(bucket))
-                self.file_writes += 1
-            except BaseException:
+            with self._bucket_lock(bucket):
+                if self._file_sig(bucket) == self._sigs.get(bucket):
+                    # Nobody else wrote the file since we last read/wrote it:
+                    # our page (which already contains the staged entries) is
+                    # the complete truth — no merge re-read needed.
+                    merged = dict(page)
+                    merged.update(staged)
+                else:
+                    # Concurrent writer: overlay our page on their state.
+                    # Keys are content digests, so colliding entries are
+                    # equivalent.
+                    merged = self._read_file(bucket)
+                    merged.update(page)
+                    merged.update(staged)
+                fd, tmp_path = tempfile.mkstemp(dir=self.path, suffix=".tmp")
                 try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-                raise
-            self._pages[bucket] = merged
-            self._sigs[bucket] = self._file_sig(bucket)
+                    with os.fdopen(fd, "wb") as handle:
+                        pickle.dump(merged, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    os.replace(tmp_path, self._bucket_path(bucket))
+                    self.file_writes += 1
+                except BaseException:
+                    try:
+                        os.unlink(tmp_path)
+                    except OSError:
+                        pass
+                    raise
+                self._pages[bucket] = merged
+                self._sigs[bucket] = self._file_sig(bucket)
         self._dirty.clear()
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,253 @@
+"""Typed Python client for the analysis server.
+
+:class:`ServerClient` wraps the wire protocol (stdlib ``urllib`` only); the
+objects it accepts and returns are the same facade types a local caller uses
+(:class:`~repro.api.service.AnalysisRequest` in,
+:class:`~repro.api.service.AnalysisResult` out — bit-identical to a direct
+:class:`~repro.api.service.AnalysisService` call, because the wire format is
+the exact-round-trip schema of :mod:`repro.api.serialize`).
+
+Quick start::
+
+    from repro.api import AnalysisRequest
+    from repro.server import ProjectSpec, ServerClient
+
+    client = ServerClient("http://127.0.0.1:8472")
+    spec = ProjectSpec(workload="flight-control")
+    result = client.analyze(spec, AnalysisRequest(all_modes=True))
+    print(result.report.wcet_cycles)
+
+    job = client.submit(spec, AnalysisRequest(mode="air"))   # async form
+    for event in job.events():
+        print(event.event)
+    print(job.result().wcet_cycles)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, Optional
+
+from repro.api import serialize
+from repro.api.service import AnalysisRequest, AnalysisResult
+from repro.errors import ReproError
+from repro.server.wire import (
+    TERMINAL_STATES,
+    ProjectSpec,
+    ServerError,
+    ServerEvent,
+    ServerJobStatus,
+    ServerStats,
+    ServerSubmit,
+    ServerSubmitReply,
+)
+
+
+class ClientError(ReproError):
+    """Transport-level failure (server unreachable, malformed reply, ...)."""
+
+
+class RemoteError(ReproError):
+    """The server answered with a :class:`~repro.server.wire.ServerError`."""
+
+    def __init__(self, status: int, error: ServerError):
+        super().__init__(f"[HTTP {status}] {error.error}: {error.message}")
+        self.status = status
+        self.error = error
+
+
+class JobFailed(RemoteError):
+    """The remote analysis raised (the analysis error travels back)."""
+
+
+class ResultNotReady(RemoteError):
+    """``result()`` was called while the job was still queued/running."""
+
+
+class JobCancelled(RemoteError):
+    """``result()`` was called on a cancelled job."""
+
+
+_RESULT_ERRORS = {409: ResultNotReady, 410: JobCancelled, 500: JobFailed}
+
+
+class RemoteJob:
+    """Handle on one submitted job."""
+
+    def __init__(self, client: "ServerClient", reply: ServerSubmitReply):
+        self.client = client
+        self.id = reply.job_id
+        #: True when the server joined this submission to an existing
+        #: identical execution instead of queueing a new one.
+        self.deduped = reply.deduped
+
+    def status(self) -> ServerJobStatus:
+        return self.client.status(self.id)
+
+    def result(self, wait: bool = True, timeout: Optional[float] = None) -> AnalysisResult:
+        if wait:
+            self.client.wait(self.id, timeout=timeout)
+        return self.client.result(self.id)
+
+    def events(self, since: int = 0) -> Iterator[ServerEvent]:
+        return self.client.events(self.id, since=since)
+
+    def cancel(self) -> ServerJobStatus:
+        return self.client.cancel(self.id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteJob({self.id!r}, deduped={self.deduped})"
+
+
+class ServerClient:
+    """HTTP client speaking the server's schema-1 wire protocol."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        timeout: Optional[float] = None,
+        result_endpoint: bool = False,
+    ) -> dict:
+        """One request/reply exchange.
+
+        ``result_endpoint`` maps the result route's state-signalling status
+        codes (409/410/500) to the typed exceptions; everywhere else a
+        non-2xx reply — including a handler bug surfacing as 500 — is a
+        plain :class:`RemoteError`, never a fake analysis outcome.
+        """
+        body = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            f"{self.url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                error = serialize.from_json(json.loads(raw), ServerError)
+            except Exception:  # noqa: BLE001 - non-envelope error body
+                error = ServerError(error="HTTPError", message=raw.decode(errors="replace"))
+            cls = _RESULT_ERRORS.get(exc.code, RemoteError) if result_endpoint else RemoteError
+            raise cls(exc.code, error) from None
+        except urllib.error.URLError as exc:
+            raise ClientError(f"cannot reach analysis server at {self.url}: {exc.reason}") from None
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise ClientError(f"malformed reply from {self.url}: {exc}") from None
+
+    # ------------------------------------------------------------------ #
+    # Protocol surface
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        spec: ProjectSpec,
+        request: Optional[AnalysisRequest] = None,
+        lane: str = "interactive",
+    ) -> RemoteJob:
+        submit = ServerSubmit(
+            project=spec, request=request or AnalysisRequest(), lane=lane
+        )
+        reply = serialize.from_json(
+            self._call("POST", "/v1/jobs", serialize.to_json(submit)),
+            ServerSubmitReply,
+        )
+        return RemoteJob(self, reply)
+
+    def status(self, job_id: str) -> ServerJobStatus:
+        return serialize.from_json(
+            self._call("GET", f"/v1/jobs/{job_id}"), ServerJobStatus
+        )
+
+    def result(self, job_id: str) -> AnalysisResult:
+        return serialize.from_json(
+            self._call("GET", f"/v1/jobs/{job_id}/result", result_endpoint=True),
+            AnalysisResult,
+        )
+
+    def cancel(self, job_id: str) -> ServerJobStatus:
+        return serialize.from_json(
+            self._call("POST", f"/v1/jobs/{job_id}/cancel", {}), ServerJobStatus
+        )
+
+    def events(self, job_id: str, since: int = 0) -> Iterator[ServerEvent]:
+        """Yield the job's progress events live, ending at the terminal one."""
+        request = urllib.request.Request(
+            f"{self.url}/v1/jobs/{job_id}/events?since={since}"
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                error = serialize.from_json(json.loads(raw), ServerError)
+            except Exception:  # noqa: BLE001
+                error = ServerError(error="HTTPError", message=raw.decode(errors="replace"))
+            raise RemoteError(exc.code, error) from None
+        except urllib.error.URLError as exc:
+            raise ClientError(f"cannot reach analysis server at {self.url}: {exc.reason}") from None
+        with response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield serialize.from_json(json.loads(line), ServerEvent)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> ServerJobStatus:
+        """Block until the job reaches a terminal state (stream-driven, with
+        a polling fallback); raises :class:`ClientError` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        status = self.status(job_id)
+        while status.state not in TERMINAL_STATES:
+            try:
+                for event in self.events(job_id):
+                    if event.event in TERMINAL_STATES:
+                        break
+            except (ClientError, RemoteError, OSError, ValueError):
+                # Stream hiccup (socket read timeout on a quiet stream, torn
+                # connection, truncated line): fall back to polling — the
+                # status loop below is the source of truth.
+                time.sleep(0.05)
+            status = self.status(job_id)
+            if status.state not in TERMINAL_STATES:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ClientError(f"timed out waiting for job {job_id}")
+                time.sleep(0.05)
+        return status
+
+    def healthz(self) -> ServerStats:
+        return serialize.from_json(self._call("GET", "/healthz"), ServerStats)
+
+    def shutdown(self) -> None:
+        """Ask the server to shut down gracefully."""
+        self._call("POST", "/v1/shutdown", {})
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def analyze(
+        self,
+        spec: ProjectSpec,
+        request: Optional[AnalysisRequest] = None,
+        lane: str = "interactive",
+        timeout: Optional[float] = None,
+    ) -> AnalysisResult:
+        """Submit and block for the result — the remote twin of
+        :meth:`repro.api.service.AnalysisService.analyze`."""
+        job = self.submit(spec, request, lane=lane)
+        return job.result(wait=True, timeout=timeout)

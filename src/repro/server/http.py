@@ -1,0 +1,359 @@
+"""HTTP/JSON front end of the analysis service (stdlib only).
+
+Endpoints (all bodies are schema-1 envelopes, see :mod:`repro.server.wire`
+and docs/server.md):
+
+========  ==========================  =======================================
+method    path                        body / reply
+========  ==========================  =======================================
+POST      ``/v1/jobs``                ServerSubmit → 202 ServerSubmitReply
+GET       ``/v1/jobs/<id>``           → 200 ServerJobStatus
+GET       ``/v1/jobs/<id>/result``    → 200 AnalysisResult (when done);
+                                      409 while queued/running, 410 when
+                                      cancelled, 500 ServerError when failed
+POST      ``/v1/jobs/<id>/cancel``    → 200 ServerJobStatus
+GET       ``/v1/jobs/<id>/events``    → 200 ``application/x-ndjson`` stream
+                                      of ServerEvent lines (``?since=N``
+                                      resumes), closed after the terminal
+                                      event
+GET       ``/healthz``                → 200 ServerStats
+POST      ``/v1/shutdown``            → 200, then graceful shutdown
+========  ==========================  =======================================
+
+Every non-2xx response body is a :class:`~repro.server.wire.ServerError`.
+The server is a :class:`ThreadingHTTPServer`: requests are handled on
+daemon threads while analyses run on the :class:`~repro.server.workers.
+WorkerPool`, so status polls and event streams stay responsive under load.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api import serialize
+from repro.server.queue import Scheduler, SchedulerClosed
+from repro.server.wire import (
+    TERMINAL_STATES,
+    ServerError,
+    ServerStats,
+    ServerSubmit,
+    ServerSubmitReply,
+    WireError,
+)
+from repro.server.workers import WorkerPool
+
+#: Default TCP port (0 = pick an ephemeral port; see ``AnalysisServer.url``).
+DEFAULT_PORT = 8472
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    analysis: "AnalysisServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: _HTTPServer
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.analysis.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _reply(self, status: int, payload: dict, *, close: bool = False) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if close:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(
+        self, status: int, error: str, message: str, job_id: Optional[str] = None
+    ) -> None:
+        self._reply(
+            status,
+            serialize.to_json(
+                ServerError(error=error, message=message, job_id=job_id)
+            ),
+        )
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise WireError("request body is empty")
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise WireError("request body must be a JSON object")
+        return data
+
+    def _route(self) -> Tuple[str, dict]:
+        split = urlsplit(self.path)
+        query = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        return split.path.rstrip("/") or "/", query
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802
+        path, query = self._route()
+        try:
+            if path == "/healthz":
+                return self._healthz()
+            if path.startswith("/v1/jobs/"):
+                parts = path.split("/")
+                # /v1/jobs/<id>[/result|/events]
+                if len(parts) == 4:
+                    return self._status(parts[3])
+                if len(parts) == 5 and parts[4] == "result":
+                    return self._result(parts[3])
+                if len(parts) == 5 and parts[4] == "events":
+                    return self._events(parts[3], int(query.get("since", 0)))
+            self._error(404, "NotFound", f"no such endpoint: GET {path}")
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            self.close_connection = True
+        except Exception as exc:  # noqa: BLE001
+            self._error(500, type(exc).__name__, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        path, _ = self._route()
+        try:
+            if path == "/v1/jobs":
+                return self._submit()
+            if path == "/v1/shutdown":
+                return self._shutdown()
+            parts = path.split("/")
+            if len(parts) == 5 and parts[1] == "v1" and parts[2] == "jobs" and parts[4] == "cancel":
+                return self._cancel(parts[3])
+            self._error(404, "NotFound", f"no such endpoint: POST {path}")
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception as exc:  # noqa: BLE001
+            self._error(500, type(exc).__name__, str(exc))
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _submit(self) -> None:
+        try:
+            body = self._read_body()
+            submit = serialize.from_json(body, ServerSubmit)
+            submit.validate()
+        except (WireError, serialize.SchemaError) as exc:
+            return self._error(400, type(exc).__name__, str(exc))
+        scheduler = self.server.analysis.scheduler
+        try:
+            job = scheduler.submit(submit.project, submit.request, lane=submit.lane)
+        except SchedulerClosed as exc:
+            return self._error(503, "SchedulerClosed", str(exc))
+        status = scheduler.status(job)
+        self._reply(
+            202,
+            serialize.to_json(
+                ServerSubmitReply(
+                    job_id=job.id,
+                    state=job.state,
+                    lane=job.lane,
+                    deduped=job.deduped,
+                    position=status.position,
+                )
+            ),
+        )
+
+    def _job_or_404(self, job_id: str):
+        job = self.server.analysis.scheduler.job(job_id)
+        if job is None:
+            self._error(404, "UnknownJob", f"no such job: {job_id}", job_id=job_id)
+        return job
+
+    def _status(self, job_id: str) -> None:
+        job = self._job_or_404(job_id)
+        if job is not None:
+            self._reply(
+                200, serialize.to_json(self.server.analysis.scheduler.status(job))
+            )
+
+    def _result(self, job_id: str) -> None:
+        job = self._job_or_404(job_id)
+        if job is None:
+            return
+        state = job.state
+        if state == "done":
+            self._reply(200, serialize.to_json(job.result))
+        elif state == "cancelled":
+            self._error(410, "JobCancelled", f"job {job_id} was cancelled", job_id)
+        elif state == "failed":
+            error = job.error
+            self._reply(
+                500,
+                serialize.to_json(
+                    ServerError(
+                        error=error.error, message=error.message, job_id=job_id
+                    )
+                ),
+            )
+        else:
+            self._error(
+                409, "ResultNotReady", f"job {job_id} is {state}", job_id
+            )
+
+    def _cancel(self, job_id: str) -> None:
+        job = self.server.analysis.scheduler.cancel(job_id)
+        if job is None:
+            self._error(404, "UnknownJob", f"no such job: {job_id}", job_id=job_id)
+        else:
+            self._reply(
+                200, serialize.to_json(self.server.analysis.scheduler.status(job))
+            )
+
+    def _events(self, job_id: str, since: int) -> None:
+        """Stream the job's events as NDJSON until it reaches a terminal state."""
+        scheduler = self.server.analysis.scheduler
+        job = self._job_or_404(job_id)
+        if job is None:
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        cursor = since
+        while True:
+            events = scheduler.job_events(job, since=cursor)
+            for event in events:
+                self.wfile.write(
+                    (json.dumps(serialize.to_json(event)) + "\n").encode()
+                )
+                cursor = event.seq
+            if not events:
+                # Keepalive: an empty NDJSON line (clients skip blanks).
+                # Long-running analyses emit nothing between "started" and
+                # the terminal event; without traffic, a client-side socket
+                # read timeout would tear the stream down mid-wait.
+                self.wfile.write(b"\n")
+            self.wfile.flush()
+            if any(event.event in TERMINAL_STATES for event in events) or (
+                job.state in TERMINAL_STATES and not events
+            ):
+                break
+            with scheduler.events:
+                if not scheduler.job_events(job, since=cursor):
+                    scheduler.events.wait(timeout=1.0)
+            if self.server.analysis.closing:
+                break
+        self.close_connection = True
+
+    def _healthz(self) -> None:
+        self._reply(200, serialize.to_json(self.server.analysis.stats()))
+
+    def _shutdown(self) -> None:
+        self._reply(200, {"schema": 1, "kind": "ServerShutdown"}, close=True)
+        self.wfile.flush()
+        threading.Thread(
+            target=self.server.analysis.shutdown, daemon=True
+        ).start()
+
+
+# --------------------------------------------------------------------------- #
+class AnalysisServer:
+    """Scheduler + worker pool + HTTP listener, wired and lifecycle-managed.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`url`) —
+    tests and the load benchmark rely on this.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        jobs: Optional[int] = 1,
+        cache_dir: Optional[str] = None,
+        verbose: bool = False,
+    ):
+        self.scheduler = Scheduler()
+        self.pool = WorkerPool(self.scheduler, jobs=jobs, cache_dir=cache_dir)
+        self.verbose = verbose
+        self.closing = False
+        self._httpd = _HTTPServer((host, port), _Handler)
+        self._httpd.analysis = self
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "AnalysisServer":
+        """Start workers and serve HTTP on a background thread."""
+        self.pool.start()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-http", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Start workers and serve HTTP on the calling thread (the CLI)."""
+        self.pool.start()
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Graceful: stop intake, drain workers, stop the listener."""
+        if self.closing:
+            return
+        self.closing = True
+        self.scheduler.close()
+        self.pool.shutdown(wait=True)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10)
+
+    def __enter__(self) -> "AnalysisServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServerStats:
+        scheduler = self.scheduler
+        return ServerStats(
+            uptime_seconds=time.time() - scheduler.started_at,
+            workers=self.pool.jobs,
+            jobs=scheduler.job_counts(),
+            queue_depth=scheduler.queue_depth(),
+            dedup_hits=scheduler.dedup_hits,
+            submitted=scheduler.submitted,
+            executed=scheduler.executed,
+            cache=dict(scheduler.cache_stats),
+            phase_seconds={
+                phase: round(seconds, 6)
+                for phase, seconds in scheduler.phase_seconds.items()
+            },
+        )

@@ -1,0 +1,379 @@
+"""Job queue and scheduler: priority lanes + content-addressed dedup.
+
+The scheduler's unit of work is an :class:`Execution` — one (project digest,
+request digest) pair.  Any number of :class:`Job`\\ s (one per client
+submission) subscribe to an execution; identical submissions arriving while
+an execution is queued or running join it instead of queueing a second run,
+and every subscriber receives the finished result stamped with its own label.
+This is safe for the same reason the summary cache is safe: the key digests
+every input the result depends on, so sharing an execution can only skip
+work, never change a bound.
+
+Scheduling is strict-priority by lane (``interactive`` before ``batch``),
+FIFO within a lane.  A queued batch execution that gains an interactive
+subscriber is *promoted* — it re-enters the queue at interactive priority.
+
+All public methods are thread-safe; worker threads block in :meth:`pop`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.analysis.summaries import merge_stats
+from repro.api.service import AnalysisRequest, AnalysisResult
+from repro.server.wire import (
+    LANES,
+    TERMINAL_STATES,
+    ProjectSpec,
+    ServerError,
+    ServerEvent,
+    ServerJobStatus,
+    request_digest,
+)
+
+
+@dataclass
+class Job:
+    """One client submission (subscribes to exactly one execution)."""
+
+    id: str
+    label: str
+    lane: str
+    execution: "Execution"
+    deduped: bool = False
+    submitted: float = 0.0
+    #: Set when this job was cancelled individually while its (shared)
+    #: execution lived on for other subscribers.
+    cancelled: bool = False
+    #: The delivered result, stamped with this job's label.
+    result: Optional[AnalysisResult] = None
+    events: List[ServerEvent] = field(default_factory=list)
+
+    @property
+    def state(self) -> str:
+        if self.cancelled:
+            return "cancelled"
+        return self.execution.state
+
+    @property
+    def error(self) -> Optional[ServerError]:
+        return self.execution.error
+
+
+@dataclass
+class Execution:
+    """One deduplicated unit of analysis work."""
+
+    key: str
+    spec: ProjectSpec
+    request: AnalysisRequest
+    lane: str
+    seq: int
+    state: str = "queued"
+    jobs: List[Job] = field(default_factory=list)
+    result: Optional[AnalysisResult] = None
+    error: Optional[ServerError] = None
+    started: float = 0.0
+    finished: float = 0.0
+    seconds: float = 0.0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+
+class SchedulerClosed(Exception):
+    """Raised by :meth:`Scheduler.submit` after :meth:`Scheduler.close`."""
+
+
+class JobQueue:
+    """Priority queue of executions: strict lane priority, FIFO within.
+
+    Not thread-safe on its own — the :class:`Scheduler` serialises access.
+    Promotions are handled by lazy deletion: an execution may appear twice in
+    the heap; entries whose recorded lane no longer matches the execution's
+    current lane (or whose execution already left the queued state) are
+    skipped on pop.
+    """
+
+    def __init__(self):
+        self._heap: List[tuple] = []
+        self._tick = itertools.count()
+
+    def push(self, execution: Execution) -> None:
+        priority = LANES.index(execution.lane)
+        heapq.heappush(self._heap, (priority, next(self._tick), execution.lane, execution))
+
+    def pop(self) -> Optional[Execution]:
+        while self._heap:
+            _, _, lane, execution = heapq.heappop(self._heap)
+            if execution.state == "queued" and lane == execution.lane:
+                return execution
+        return None
+
+    def depth(self) -> Dict[str, int]:
+        seen = set()
+        counts = {lane: 0 for lane in LANES}
+        for _, _, lane, execution in self._heap:
+            if execution.state == "queued" and lane == execution.lane:
+                if id(execution) not in seen:
+                    seen.add(id(execution))
+                    counts[lane] += 1
+        return counts
+
+    def position(self, target: Execution) -> int:
+        """0-based position of ``target`` among queued executions."""
+        live = [
+            (entry[0], entry[1], entry[3])
+            for entry in self._heap
+            if entry[3].state == "queued" and entry[2] == entry[3].lane
+        ]
+        for index, (_, _, execution) in enumerate(sorted(live, key=lambda e: e[:2])):
+            if execution is target:
+                return index
+        return -1
+
+    def __len__(self) -> int:
+        return sum(self.depth().values())
+
+
+class Scheduler:
+    """Thread-safe façade over the queue: submit/pop/complete/cancel/stats."""
+
+    def __init__(self):
+        # Re-entrant: event streamers hold the lock through the ``events``
+        # condition while calling back into ``job_events``.
+        self._lock = threading.RLock()
+        self._work = threading.Condition(self._lock)
+        #: Broadcast on every job event (status streams wait on this).
+        self.events = threading.Condition(self._lock)
+        self._queue = JobQueue()
+        self._jobs: Dict[str, Job] = {}
+        #: Active (queued or running) executions by dedup key.
+        self._active: Dict[str, Execution] = {}
+        self._job_seq = itertools.count(1)
+        self._exec_seq = itertools.count(1)
+        self._closed = False
+        self.started_at = time.time()
+        # Lifetime counters / aggregates (reported by /healthz).
+        self.submitted = 0
+        self.dedup_hits = 0
+        self.executed = 0
+        self.cache_stats: Dict[str, int] = {}
+        self.phase_seconds: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Submission and dedup
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, spec: ProjectSpec, request: AnalysisRequest, lane: str = "interactive"
+    ) -> Job:
+        if lane not in LANES:
+            # Validate BEFORE touching any state: failing later (e.g. on the
+            # heap push) would leave a subscriber-less zombie execution in
+            # the dedup table that poisons every later identical submission.
+            raise ValueError(f"unknown lane {lane!r}; available: {LANES}")
+        key = request_digest(spec, request)
+        with self._lock:
+            if self._closed:
+                raise SchedulerClosed("scheduler is shut down")
+            self.submitted += 1
+            execution = self._active.get(key)
+            deduped = execution is not None
+            if execution is None:
+                execution = Execution(
+                    key=key,
+                    spec=spec,
+                    request=request,
+                    lane=lane,
+                    seq=next(self._exec_seq),
+                )
+                self._active[key] = execution
+                self._queue.push(execution)
+                self._work.notify()
+            else:
+                self.dedup_hits += 1
+                if (
+                    execution.state == "queued"
+                    and LANES.index(lane) < LANES.index(execution.lane)
+                ):
+                    # Promotion: an interactive subscriber joined a batch
+                    # execution — re-queue it at the higher priority.
+                    execution.lane = lane
+                    self._queue.push(execution)
+            job = Job(
+                id=f"j{next(self._job_seq):06d}",
+                label=request.label,
+                lane=lane,
+                execution=execution,
+                deduped=deduped,
+                submitted=time.time(),
+            )
+            execution.jobs.append(job)
+            self._jobs[job.id] = job
+            self._emit(job, "queued", detail="deduped" if deduped else "")
+            return job
+
+    # ------------------------------------------------------------------ #
+    # Worker side
+    # ------------------------------------------------------------------ #
+    def pop(self, timeout: Optional[float] = None) -> Optional[Execution]:
+        """Block until an execution is runnable; ``None`` on close/timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                execution = self._queue.pop()
+                if execution is not None:
+                    execution.state = "running"
+                    execution.started = time.time()
+                    for job in execution.jobs:
+                        if not job.cancelled:
+                            self._emit(job, "started")
+                    return execution
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._work.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._work.wait(remaining)
+
+    def complete(
+        self,
+        execution: Execution,
+        result: Optional[AnalysisResult] = None,
+        error: Optional[ServerError] = None,
+        cache_stats: Optional[Dict[str, int]] = None,
+        seconds: float = 0.0,
+    ) -> None:
+        """Record the outcome and fan it out to every subscribed job."""
+        with self._lock:
+            execution.finished = time.time()
+            execution.seconds = seconds
+            execution.cache_stats = dict(cache_stats or {})
+            self.executed += 1
+            merge_stats(self.cache_stats, execution.cache_stats)
+            if result is not None:
+                execution.state = "done"
+                execution.result = result
+                for report in result.reports.values():
+                    for phase, secs in report.phase_seconds().items():
+                        self.phase_seconds[phase] = (
+                            self.phase_seconds.get(phase, 0.0) + secs
+                        )
+                for job in execution.jobs:
+                    if not job.cancelled:
+                        # Each subscriber gets the shared result under its
+                        # own label (labels are excluded from the dedup key).
+                        job.result = replace(
+                            result, label=job.label or result.label
+                        )
+                        self._emit(job, "done")
+            else:
+                execution.state = "failed"
+                execution.error = error or ServerError(
+                    error="InternalError", message="execution failed"
+                )
+                for job in execution.jobs:
+                    if not job.cancelled:
+                        self._emit(job, "failed", detail=execution.error.message)
+            self._active.pop(execution.key, None)
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel one job; returns it, or ``None`` if unknown.
+
+        Cancelling a subscriber of a shared execution only detaches that
+        subscriber.  When the *last* live subscriber of a queued execution is
+        cancelled, the execution is dropped from the queue (a running one is
+        left to finish — its result still warms the cache).  Terminal jobs
+        are returned unchanged.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                return job
+            job.cancelled = True
+            self._emit(job, "cancelled")
+            execution = job.execution
+            if execution.state == "queued" and all(
+                subscriber.cancelled for subscriber in execution.jobs
+            ):
+                execution.state = "cancelled"
+                execution.finished = time.time()
+                self._active.pop(execution.key, None)
+            return job
+
+    def status(self, job: Job) -> ServerJobStatus:
+        with self._lock:
+            execution = job.execution
+            return ServerJobStatus(
+                job_id=job.id,
+                state=job.state,
+                lane=job.lane,
+                label=job.label,
+                deduped=job.deduped,
+                submitted=job.submitted,
+                started=execution.started,
+                finished=execution.finished,
+                seconds=execution.seconds,
+                position=(
+                    self._queue.position(execution)
+                    if job.state == "queued"
+                    else -1
+                ),
+                error=(
+                    execution.error if not job.cancelled else None
+                ),
+            )
+
+    def job_events(self, job: Job, since: int = 0) -> List[ServerEvent]:
+        with self._lock:
+            return [event for event in job.events if event.seq > since]
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def queue_depth(self) -> Dict[str, int]:
+        with self._lock:
+            return self._queue.depth()
+
+    def job_counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in ("queued", "running", "done", "failed", "cancelled")}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def close(self) -> None:
+        """Stop accepting work and wake every blocked :meth:`pop`."""
+        with self._lock:
+            self._closed = True
+            self._work.notify_all()
+            self.events.notify_all()
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, job: Job, event: str, detail: str = "") -> None:
+        # Caller holds the lock.
+        job.events.append(
+            ServerEvent(
+                job_id=job.id,
+                seq=len(job.events) + 1,
+                event=event,
+                state=job.state,
+                detail=detail,
+                ts=time.time(),
+            )
+        )
+        self.events.notify_all()

@@ -1,0 +1,206 @@
+"""The server's worker pool: warm services per worker, one shared store.
+
+Two execution modes behind one interface:
+
+* ``jobs <= 1`` — *inline*: one dispatcher thread executes analyses in the
+  server process, keeping warm :class:`~repro.api.service.AnalysisService`
+  instances (built program + in-process summary cache) across requests;
+* ``jobs > 1`` — *pool*: ``jobs`` worker *processes* (the same
+  :mod:`multiprocessing` plumbing :func:`repro.wcet.batch.analyze_batch`
+  uses, including its worker initialiser), each keeping its own warm-service
+  table and in-process cache tier, all sharing the server's on-disk
+  :class:`~repro.cache.store.SummaryStore` (safe under the store's advisory
+  file locking).
+
+Work and results cross the process boundary as wire JSON
+(:mod:`repro.server.wire` / :mod:`repro.api.serialize`), which round-trips
+exactly — a served result is bit-identical to a direct facade call.
+"""
+
+from __future__ import annotations
+
+import multiprocessing.pool
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.analysis.summaries import SummaryCache
+from repro.api import serialize
+from repro.api.service import AnalysisRequest, AnalysisResult, AnalysisService
+from repro.cache import SummaryStore
+from repro.errors import ReproError
+from repro.server.queue import Execution, Scheduler
+from repro.server.wire import ProjectSpec, ServerError
+from repro.wcet import batch
+
+#: Warm AnalysisService instances kept per worker (LRU-evicted beyond this).
+WARM_SERVICES_PER_WORKER = 8
+
+
+class _WarmServices:
+    """Per-process table of warm services keyed by project-spec digest."""
+
+    def __init__(self, cache: SummaryCache, limit: int = WARM_SERVICES_PER_WORKER):
+        self.cache = cache
+        self.limit = limit
+        self._services: "OrderedDict[str, AnalysisService]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def service(self, spec: ProjectSpec) -> AnalysisService:
+        key = spec.digest()
+        service = self._services.get(key)
+        if service is not None:
+            self.hits += 1
+            self._services.move_to_end(key)
+            return service
+        self.misses += 1
+        # The worker's cache owns the persistent store; the project itself
+        # must not resolve a second one (or fall back to ambient defaults).
+        project = spec.to_project(cache="off")
+        project.build()  # compile once, while we're warming up anyway
+        service = AnalysisService(project, summary_cache=self.cache)
+        self._services[key] = service
+        while len(self._services) > self.limit:
+            self._services.popitem(last=False)
+        return service
+
+
+def _serve(warm: _WarmServices, payload: Tuple[dict, dict]) -> tuple:
+    """Execute one wire-encoded (spec, request) pair; never raises."""
+    spec_json, request_json = payload
+    before = warm.cache.stats()
+    started = time.perf_counter()
+    try:
+        spec = serialize.from_json(spec_json, ProjectSpec)
+        request = serialize.from_json(request_json, AnalysisRequest)
+        result = warm.service(spec).analyze(request)
+        result_json = result.to_json()
+        error = None
+    except ReproError as exc:
+        result_json = None
+        error = (type(exc).__name__, str(exc))
+    except Exception as exc:  # noqa: BLE001 - a worker must never die silently
+        result_json = None
+        error = (type(exc).__name__, f"{exc}\n{traceback.format_exc(limit=5)}")
+    seconds = time.perf_counter() - started
+    after = warm.cache.stats()
+    delta = {key: after[key] - before.get(key, 0) for key in after}
+    warm.cache.flush()
+    return result_json, error, delta, seconds
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool side (module globals are per worker process)
+# --------------------------------------------------------------------------- #
+_WORKER_WARM: Optional[_WarmServices] = None
+
+
+def _init_server_worker(cache_dir: Optional[str]) -> None:
+    # Reuse the batch pool's initialiser so worker cache wiring has exactly
+    # one implementation, then layer the warm-service table on top of it.
+    global _WORKER_WARM
+    batch._init_batch_worker(cache_dir)
+    _WORKER_WARM = _WarmServices(batch._WORKER_CACHE)
+
+
+def _serve_in_worker(payload: Tuple[dict, dict]) -> tuple:
+    assert _WORKER_WARM is not None
+    return _serve(_WORKER_WARM, payload)
+
+
+# --------------------------------------------------------------------------- #
+class WorkerPool:
+    """Pulls executions from a :class:`Scheduler` and runs them to completion."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        jobs: Optional[int] = 1,
+        cache_dir: Optional[str] = None,
+    ):
+        self.scheduler = scheduler
+        self.jobs = batch.resolve_jobs(jobs)
+        self.cache_dir = cache_dir
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._threads: list = []
+        self._inline_warm: Optional[_WarmServices] = None
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        if self.jobs > 1:
+            self._pool = multiprocessing.Pool(
+                processes=self.jobs,
+                initializer=_init_server_worker,
+                initargs=(self.cache_dir,),
+            )
+        else:
+            store = SummaryStore(self.cache_dir) if self.cache_dir else None
+            self._inline_warm = _WarmServices(SummaryCache(store=store))
+        dispatchers = self.jobs if self.jobs > 1 else 1
+        for index in range(dispatchers):
+            thread = threading.Thread(
+                target=self._dispatch_loop, name=f"repro-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            execution = self.scheduler.pop()
+            if execution is None:
+                return
+            self._run(execution)
+
+    def _run(self, execution: Execution) -> None:
+        payload = (
+            serialize.to_json(execution.spec),
+            serialize.to_json(execution.request),
+        )
+        try:
+            if self._pool is not None:
+                result_json, error, delta, seconds = self._pool.apply(
+                    _serve_in_worker, (payload,)
+                )
+            else:
+                result_json, error, delta, seconds = _serve(self._inline_warm, payload)
+        except Exception as exc:  # pool torn down mid-flight, etc.
+            result_json, error, delta, seconds = (
+                None,
+                (type(exc).__name__, str(exc)),
+                {},
+                0.0,
+            )
+        if result_json is not None:
+            result: Optional[AnalysisResult] = serialize.from_json(result_json)
+            self.scheduler.complete(
+                execution, result=result, cache_stats=delta, seconds=seconds
+            )
+        else:
+            kind, message = error
+            self.scheduler.complete(
+                execution,
+                error=ServerError(error=kind, message=message),
+                cache_stats=delta,
+                seconds=seconds,
+            )
+
+    # ------------------------------------------------------------------ #
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop dispatching (the scheduler must already be closed)."""
+        for thread in self._threads:
+            if wait:
+                thread.join(timeout=30)
+        if self._pool is not None:
+            self._pool.close()
+            if wait:
+                self._pool.join()
+            self._pool = None
+        if self._inline_warm is not None:
+            self._inline_warm.cache.flush()

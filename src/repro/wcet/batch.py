@@ -24,7 +24,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.summaries import SummaryCache, merge_stats
 from repro.annotations.registry import AnnotationSet
@@ -149,10 +149,12 @@ def _init_batch_worker(cache_dir: Optional[str]) -> None:
 def _run_request(request: AnalysisRequest):
     assert _WORKER_CACHE is not None
     before = _WORKER_CACHE.stats()
+    started = time.perf_counter()
     result = _execute(request, _WORKER_CACHE)
+    seconds = time.perf_counter() - started
     after = _WORKER_CACHE.stats()
     delta = {key: after[key] - before.get(key, 0) for key in after}
-    return result, delta
+    return result, delta, seconds
 
 
 # --------------------------------------------------------------------------- #
@@ -179,15 +181,56 @@ def analyze_batch(
     jobs = resolve_jobs(jobs)
     started = time.perf_counter()
 
+    # One execution path: collect the streaming iterator (below), which owns
+    # the cache wiring, the jobs/summary_cache validation and the pool.
+    results: List = [None] * len(requests)
+    stats: Dict[str, int] = {}
+    for index, result, delta, _ in analyze_batch_iter(
+        requests,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        summary_cache=summary_cache,
+        use_default_store=use_default_store,
+    ):
+        results[index] = result
+        merge_stats(stats, delta)
+    return BatchResult(
+        results,
+        stats,
+        seconds=time.perf_counter() - started,
+        jobs=1 if (jobs <= 1 or len(requests) <= 1) else jobs,
+    )
+
+
+# --------------------------------------------------------------------------- #
+def analyze_batch_iter(
+    requests: Sequence[AnalysisRequest],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    summary_cache: Optional[SummaryCache] = None,
+    use_default_store: bool = True,
+) -> Iterator[Tuple[int, Union[WCETReport, Dict[Optional[str], WCETReport]], Dict[str, int], float]]:
+    """Like :func:`analyze_batch`, but yield each outcome *as it finishes*.
+
+    Yields ``(index, result, cache_stats_delta, seconds)`` tuples in
+    **completion order** (serial runs complete in request order; parallel
+    runs complete as workers finish).  ``index`` is the request's position in
+    ``requests``; ``result`` is a report or a per-mode dict exactly as in
+    :class:`BatchResult.results`.  Consumers that need streaming progress
+    (the analysis server, incremental sweeps) use this; everyone else keeps
+    the batch form.  Cache semantics and results are identical to
+    :func:`analyze_batch` — only delivery granularity differs.
+    """
+    requests = list(requests)
+    jobs = resolve_jobs(jobs)
+
     if jobs > 1 and summary_cache is not None:
         raise ValueError(
-            "analyze_batch: an in-process summary_cache cannot be shared "
-            "across pool workers; pass cache_dir to share a persistent "
-            "store instead (or run with jobs=1)"
+            "an in-process summary_cache cannot be shared across pool "
+            "workers; pass cache_dir to share a persistent store instead "
+            "(or run with jobs=1)"
         )
     if cache_dir is None and use_default_store:
-        # Honour the process-global default store in workers too: they are
-        # separate processes, so the path (not the object) is what travels.
         default_store = configured_store()
         if default_store is not None:
             cache_dir = default_store.path
@@ -197,27 +240,31 @@ def analyze_batch(
         if cache is None:
             store = SummaryStore(cache_dir) if cache_dir else None
             cache = SummaryCache(store=store)
-        before = cache.stats()
-        results = [_execute(request, cache) for request in requests]
-        after = cache.stats()
-        stats = {key: after[key] - before.get(key, 0) for key in after}
-        return BatchResult(
-            results, stats, seconds=time.perf_counter() - started, jobs=1
-        )
+        for index, request in enumerate(requests):
+            before = cache.stats()
+            started = time.perf_counter()
+            result = _execute(request, cache)
+            seconds = time.perf_counter() - started
+            after = cache.stats()
+            delta = {key: after[key] - before.get(key, 0) for key in after}
+            yield index, result, delta, seconds
+        return
 
-    pairs = pool_map(
-        _run_request,
-        requests,
-        jobs,
+    # Completion-order delivery needs per-task futures; the plain Pool.map
+    # plumbing cannot express that, so the iterator rides on
+    # concurrent.futures with the same worker initialiser and chunk-free
+    # scheduling (requests are coarse units — chunking buys nothing here).
+    import concurrent.futures
+
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=jobs,
         initializer=_init_batch_worker,
         initargs=(cache_dir,),
-    )
-    stats: Dict[str, int] = {}
-    for _, delta in pairs:
-        merge_stats(stats, delta)
-    return BatchResult(
-        [result for result, _ in pairs],
-        stats,
-        seconds=time.perf_counter() - started,
-        jobs=jobs,
-    )
+    ) as executor:
+        futures = {
+            executor.submit(_run_request, request): index
+            for index, request in enumerate(requests)
+        }
+        for future in concurrent.futures.as_completed(futures):
+            result, delta, seconds = future.result()
+            yield futures[future], result, delta, seconds

@@ -460,7 +460,8 @@ class TestCli:
     def test_report_command_rejects_foreign_json(self, capsys, tmp_path):
         bad = tmp_path / "bad.json"
         bad.write_text('{"schema": 42, "kind": "WCETReport"}')
-        assert cli_main(["report", str(bad)]) == 1
+        # Malformed input is a usage error: exit 2 (documented contract).
+        assert cli_main(["report", str(bad)]) == 2
         assert "unsupported schema version" in capsys.readouterr().err
 
     def test_analyze_all_modes_with_mode_is_an_error(self, capsys):
@@ -493,11 +494,12 @@ class TestCli:
         assert "--output requires --json" in capsys.readouterr().err
 
     def test_report_missing_or_malformed_file(self, capsys, tmp_path):
-        assert cli_main(["report", str(tmp_path / "missing.json")]) == 1
+        # Unusable input exits 2 (usage error), never 0 or 1.
+        assert cli_main(["report", str(tmp_path / "missing.json")]) == 2
         assert "error:" in capsys.readouterr().err
         notes = tmp_path / "notes.txt"
         notes.write_text("not json at all")
-        assert cli_main(["report", str(notes)]) == 1
+        assert cli_main(["report", str(notes)]) == 2
         assert "error:" in capsys.readouterr().err
 
     def test_sweep_json_summary(self, capsys):

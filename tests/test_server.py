@@ -1,0 +1,557 @@
+"""The analysis server: wire schema, scheduler, worker pool, HTTP, client.
+
+The acceptance bar for everything here is *bit-identical results*: a job
+served over HTTP must reproduce a direct :class:`AnalysisService` call field
+for field (wall-clock phase timings excluded — they are measurements, not
+results), including the pinned flight-control per-mode bounds.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.api import (
+    AnalysisRequest,
+    AnalysisService,
+    Project,
+    SchemaError,
+    from_json,
+    to_json,
+)
+from repro.api.cli import main as cli_main
+from repro.api.service import AnalysisResult
+from repro.server import (
+    AnalysisServer,
+    JobFailed,
+    ProjectSpec,
+    RemoteError,
+    ResultNotReady,
+    Scheduler,
+    ServerClient,
+    ServerError,
+    ServerEvent,
+    ServerJobStatus,
+    ServerStats,
+    ServerSubmit,
+    ServerSubmitReply,
+    WorkerPool,
+    request_digest,
+)
+from repro.server.client import JobCancelled
+from repro.wcet.analyzer import AnalysisOptions
+
+MINI_C = "int main(void) { int x = 3; return x + 4; }"
+
+
+def result_identity(result):
+    """Everything in a result's JSON except wall-clock measurements."""
+
+    def strip(node):
+        if isinstance(node, dict):
+            return {
+                key: strip(value)
+                for key, value in node.items()
+                if key not in ("phases", "seconds", "cache_stats")
+            }
+        if isinstance(node, list):
+            return [strip(value) for value in node]
+        return node
+
+    return strip(to_json(result))
+
+
+# --------------------------------------------------------------------------- #
+# Wire messages: exact schema-1 round-trips
+# --------------------------------------------------------------------------- #
+class TestWireRoundTrips:
+    MESSAGES = [
+        ProjectSpec(workload="flight-control", processor="leon2", entry="main"),
+        ProjectSpec(source=MINI_C, annotations="recursion f 4\n", name="t.c"),
+        ProjectSpec(assembly=".func main\n    halt", processor="hcs12x"),
+        AnalysisOptions(),
+        AnalysisOptions(ilp_backend="simplex", compute_bcet=False,
+                        max_contexts_per_function=3),
+        AnalysisRequest(),
+        AnalysisRequest(entry="task", mode="air", error_scenario="single_fault",
+                        options=AnalysisOptions(strict_indirect=False),
+                        check_guidelines=True, label="wire"),
+        ServerSubmit(project=ProjectSpec(workload="message-handler"),
+                     request=AnalysisRequest(all_modes=True), lane="batch"),
+        ServerSubmitReply(job_id="j000001", state="queued", lane="interactive",
+                          deduped=True, position=2),
+        ServerError(error="AnalysisError", message="unbounded loop", job_id="j1"),
+        ServerJobStatus(job_id="j000002", state="failed", lane="batch",
+                        label="x", deduped=False, submitted=1.5, started=2.5,
+                        finished=3.5, seconds=1.0, position=-1,
+                        error=ServerError(error="E", message="m")),
+        ServerJobStatus(job_id="j000003", state="queued", lane="interactive",
+                        position=0),
+        ServerEvent(job_id="j000004", seq=3, event="done", state="done",
+                    detail="", ts=12.25),
+        ServerStats(uptime_seconds=5.0, workers=4,
+                    jobs={"queued": 1, "done": 2},
+                    queue_depth={"interactive": 1, "batch": 0},
+                    dedup_hits=3, submitted=6, executed=2,
+                    cache={"tier1_hits": 9}, phase_seconds={"ipet": 0.25}),
+    ]
+
+    @pytest.mark.parametrize("message", MESSAGES, ids=lambda m: type(m).__name__)
+    def test_exact_round_trip_through_json_text(self, message):
+        payload = json.loads(json.dumps(to_json(message)))
+        assert payload["schema"] == 1
+        assert from_json(payload, type(message)) == message
+        # And a second serialisation is byte-stable.
+        assert to_json(from_json(payload)) == payload
+
+    def test_unknown_schema_version_rejected(self):
+        payload = to_json(ServerError(error="E", message="m"))
+        payload["schema"] = 99
+        with pytest.raises(SchemaError, match="unsupported schema version"):
+            from_json(payload)
+
+    def test_kind_mismatch_rejected(self):
+        payload = to_json(ServerError(error="E", message="m"))
+        with pytest.raises(SchemaError, match="expected a serialised"):
+            from_json(payload, ServerStats)
+
+    def test_missing_field_rejected(self):
+        payload = to_json(ServerSubmitReply(job_id="j", state="queued", lane="batch"))
+        del payload["position"]
+        with pytest.raises(SchemaError, match="missing field"):
+            from_json(payload)
+
+    def test_unknown_options_knob_rejected(self):
+        payload = to_json(AnalysisOptions())
+        payload["warp_speed"] = True
+        with pytest.raises(SchemaError, match="malformed"):
+            from_json(payload)
+
+    def test_result_payload_is_plain_analysis_result(self):
+        """A finished job's payload is the existing AnalysisResult kind."""
+        result = AnalysisService(
+            Project.from_workload("message-handler", cache="off")
+        ).analyze(AnalysisRequest(label="wire-check"))
+        payload = json.loads(json.dumps(to_json(result)))
+        assert payload["kind"] == "AnalysisResult"
+        assert from_json(payload, AnalysisResult).wcet_cycles == result.wcet_cycles
+
+
+class TestRequestDigest:
+    SPEC = ProjectSpec(workload="flight-control")
+
+    def test_label_excluded_from_identity(self):
+        a = request_digest(self.SPEC, AnalysisRequest(label="a"))
+        b = request_digest(self.SPEC, AnalysisRequest(label="b"))
+        assert a == b
+
+    def test_every_other_knob_is_identity(self):
+        base = request_digest(self.SPEC, AnalysisRequest())
+        assert request_digest(self.SPEC, AnalysisRequest(mode="air")) != base
+        assert request_digest(self.SPEC, AnalysisRequest(all_modes=True)) != base
+        assert request_digest(self.SPEC, AnalysisRequest(check_guidelines=True)) != base
+        assert (
+            request_digest(
+                self.SPEC,
+                AnalysisRequest(options=AnalysisOptions(compute_bcet=False)),
+            )
+            != base
+        )
+        other = ProjectSpec(workload="message-handler")
+        assert request_digest(other, AnalysisRequest()) != base
+
+
+# --------------------------------------------------------------------------- #
+# Scheduler semantics (no workers: jobs stay queued until popped)
+# --------------------------------------------------------------------------- #
+def _fake_result(label="x"):
+    return AnalysisResult(label=label, entry="main", processor="simple")
+
+
+class TestScheduler:
+    def test_identical_submissions_share_one_execution(self):
+        scheduler = Scheduler()
+        spec = ProjectSpec(workload="flight-control")
+        first = scheduler.submit(spec, AnalysisRequest(label="first"))
+        second = scheduler.submit(spec, AnalysisRequest(label="second"))
+        assert not first.deduped and second.deduped
+        assert first.execution is second.execution
+        assert scheduler.dedup_hits == 1
+
+        execution = scheduler.pop(timeout=1)
+        assert execution is first.execution
+        assert scheduler.pop(timeout=0.05) is None  # only ONE execution queued
+
+        scheduler.complete(execution, result=_fake_result("computed"))
+        # Both subscribers got the result, each under its own label.
+        assert first.result.label == "first"
+        assert second.result.label == "second"
+        assert first.state == second.state == "done"
+
+    def test_invalid_lane_rejected_before_touching_state(self):
+        scheduler = Scheduler()
+        spec = ProjectSpec(workload="flight-control")
+        with pytest.raises(ValueError, match="lane"):
+            scheduler.submit(spec, AnalysisRequest(), lane="warp")
+        # No zombie execution was left behind to poison dedup.
+        job = scheduler.submit(spec, AnalysisRequest())
+        assert not job.deduped
+        assert scheduler.pop(timeout=1) is job.execution
+
+    def test_priority_lanes_and_fifo_within_lane(self):
+        scheduler = Scheduler()
+        spec = ProjectSpec(workload="flight-control")
+        batch1 = scheduler.submit(spec, AnalysisRequest(mode="air"), lane="batch")
+        batch2 = scheduler.submit(spec, AnalysisRequest(mode="ground"), lane="batch")
+        urgent = scheduler.submit(spec, AnalysisRequest(all_modes=True))
+        assert scheduler.queue_depth() == {"interactive": 1, "batch": 2}
+        popped = [scheduler.pop(timeout=1) for _ in range(3)]
+        assert popped == [urgent.execution, batch1.execution, batch2.execution]
+
+    def test_interactive_join_promotes_batch_execution(self):
+        scheduler = Scheduler()
+        spec = ProjectSpec(workload="flight-control")
+        early_batch = scheduler.submit(spec, AnalysisRequest(mode="air"), lane="batch")
+        slow = scheduler.submit(spec, AnalysisRequest(mode="ground"), lane="batch")
+        # An interactive subscriber joins the *second* batch execution...
+        joiner = scheduler.submit(spec, AnalysisRequest(mode="ground", label="hi"))
+        assert joiner.deduped and joiner.execution is slow.execution
+        # ...which therefore overtakes the earlier batch-only execution.
+        assert scheduler.pop(timeout=1) is slow.execution
+        assert scheduler.pop(timeout=1) is early_batch.execution
+
+    def test_cancel_follower_leaves_execution_running(self):
+        scheduler = Scheduler()
+        spec = ProjectSpec(workload="flight-control")
+        keeper = scheduler.submit(spec, AnalysisRequest())
+        follower = scheduler.submit(spec, AnalysisRequest(label="f"))
+        scheduler.cancel(follower.id)
+        assert follower.state == "cancelled"
+        execution = scheduler.pop(timeout=1)
+        scheduler.complete(execution, result=_fake_result())
+        assert keeper.state == "done" and keeper.result is not None
+        assert follower.state == "cancelled" and follower.result is None
+
+    def test_cancelling_every_subscriber_drops_queued_execution(self):
+        scheduler = Scheduler()
+        spec = ProjectSpec(workload="flight-control")
+        only = scheduler.submit(spec, AnalysisRequest())
+        scheduler.cancel(only.id)
+        assert scheduler.pop(timeout=0.05) is None
+        # The dedup slot is freed: a re-submission queues a NEW execution.
+        again = scheduler.submit(spec, AnalysisRequest())
+        assert not again.deduped
+
+    def test_failed_execution_fans_error_to_subscribers(self):
+        scheduler = Scheduler()
+        spec = ProjectSpec(workload="flight-control")
+        job = scheduler.submit(spec, AnalysisRequest())
+        execution = scheduler.pop(timeout=1)
+        scheduler.complete(
+            execution, error=ServerError(error="AnalysisError", message="boom")
+        )
+        assert job.state == "failed"
+        assert job.error.message == "boom"
+        events = [event.event for event in job.events]
+        assert events == ["queued", "started", "failed"]
+
+    def test_events_sequence_for_happy_path(self):
+        scheduler = Scheduler()
+        job = scheduler.submit(ProjectSpec(workload="flight-control"), AnalysisRequest())
+        scheduler.complete(scheduler.pop(timeout=1), result=_fake_result())
+        assert [event.event for event in job.events] == ["queued", "started", "done"]
+        assert [event.seq for event in job.events] == [1, 2, 3]
+
+
+# --------------------------------------------------------------------------- #
+# Worker pool (inline mode, no HTTP): results equal the direct facade
+# --------------------------------------------------------------------------- #
+class TestWorkerPool:
+    def test_inline_pool_serves_bit_identical_results(self):
+        scheduler = Scheduler()
+        pool = WorkerPool(scheduler, jobs=1)
+        pool.start()
+        try:
+            spec = ProjectSpec(source=MINI_C, name="t.c")
+            job = scheduler.submit(spec, AnalysisRequest(label="served"))
+            for _ in range(400):
+                if job.state in ("done", "failed"):
+                    break
+                import time
+
+                time.sleep(0.025)
+            assert job.state == "done", job.error and job.error.message
+            direct = AnalysisService(
+                spec.to_project(cache="off")
+            ).analyze(AnalysisRequest(label="served"))
+            assert result_identity(job.result) == result_identity(direct)
+        finally:
+            scheduler.close()
+            pool.shutdown()
+
+    def test_process_pool_shares_store_and_matches_direct(self, tmp_path):
+        """jobs>1: analyses run in worker *processes* that share one on-disk
+        summary store, and results stay bit-identical to direct calls."""
+        import time
+
+        scheduler = Scheduler()
+        pool = WorkerPool(scheduler, jobs=2, cache_dir=str(tmp_path))
+        pool.start()
+        try:
+            specs = [
+                ProjectSpec(source=MINI_C, name="t.c"),
+                ProjectSpec(workload="message-handler"),
+            ]
+            jobs = [
+                scheduler.submit(spec, AnalysisRequest(label=f"p{index}"))
+                for index, spec in enumerate(specs)
+            ]
+            deadline = time.monotonic() + 60
+            while any(job.state not in ("done", "failed") for job in jobs):
+                assert time.monotonic() < deadline, "process pool stalled"
+                time.sleep(0.05)
+            for index, (spec, job) in enumerate(zip(specs, jobs)):
+                assert job.state == "done", job.error and job.error.message
+                direct = AnalysisService(spec.to_project(cache="off")).analyze(
+                    AnalysisRequest(label=f"p{index}")
+                )
+                assert result_identity(job.result) == result_identity(direct)
+            # The workers flushed their summaries into the shared store.
+            assert list(tmp_path.glob("*.pkl")), "workers did not share the store"
+        finally:
+            scheduler.close()
+            pool.shutdown()
+
+    def test_worker_failure_travels_back_as_server_error(self):
+        scheduler = Scheduler()
+        pool = WorkerPool(scheduler, jobs=1)
+        pool.start()
+        try:
+            job = scheduler.submit(
+                ProjectSpec(workload="no-such-workload"), AnalysisRequest()
+            )
+            for _ in range(200):
+                if job.state in ("done", "failed"):
+                    break
+                import time
+
+                time.sleep(0.025)
+            assert job.state == "failed"
+            assert "no-such-workload" in job.error.message
+        finally:
+            scheduler.close()
+            pool.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# HTTP end to end
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def server():
+    with AnalysisServer(port=0, jobs=1) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServerClient(server.url, timeout=60)
+
+
+#: The repo-wide acceptance pins (see tests/test_api.py and ISSUE 5).
+FLIGHT_CONTROL_PINS = {None: (2514, 87), "air": (2514, 284), "ground": (161, 87)}
+
+
+class TestHTTPEndToEnd:
+    def test_flight_control_pins_and_bit_identity(self, client):
+        remote = client.analyze(
+            ProjectSpec(workload="flight-control"),
+            AnalysisRequest(all_modes=True, label="remote"),
+            timeout=120,
+        )
+        assert {
+            mode: (r.wcet_cycles, r.bcet_cycles) for mode, r in remote.reports.items()
+        } == FLIGHT_CONTROL_PINS
+        direct = AnalysisService(
+            Project.from_workload("flight-control", cache="off")
+        ).analyze(AnalysisRequest(all_modes=True, label="remote"))
+        assert result_identity(remote) == result_identity(direct)
+
+    def test_dedup_over_http_and_healthz_accounting(self, client):
+        spec = ProjectSpec(workload="message-handler")
+        request = AnalysisRequest(mode=None, label="dedup-a")
+        job_a = client.submit(spec, request)
+        job_b = client.submit(spec, AnalysisRequest(mode=None, label="dedup-b"))
+        result_a = job_a.result(timeout=120)
+        result_b = job_b.result(timeout=120)
+        assert job_b.deduped or job_a.deduped is False and job_b.deduped is False
+        # Labels stay per-subscriber even when the execution was shared...
+        assert result_a.label == "dedup-a"
+        assert result_b.label == "dedup-b"
+        # ...but the analysis payload is the same shared computation.
+        assert result_identity(result_a)["reports"] == result_identity(result_b)["reports"]
+        stats = client.healthz()
+        assert isinstance(stats, ServerStats)
+        assert stats.submitted >= 2
+        assert stats.executed >= 1
+        assert stats.jobs.get("done", 0) >= 2
+        assert stats.cache.get("puts", 0) >= 0  # counters merged in
+
+    def test_events_stream_ends_with_terminal_event(self, client):
+        job = client.submit(
+            ProjectSpec(workload="message-handler"),
+            AnalysisRequest(label="events"),
+        )
+        events = list(job.events())
+        assert [event.event for event in events][-1] in ("done", "failed")
+        assert [event.event for event in events][0] == "queued"
+        assert all(isinstance(event, ServerEvent) for event in events)
+        # Resuming past the end yields nothing new and terminates.
+        assert list(job.events(since=events[-1].seq)) == []
+
+    def test_status_envelope_fields(self, client):
+        job = client.submit(
+            ProjectSpec(workload="message-handler"), AnalysisRequest(label="st")
+        )
+        job.result(timeout=120)
+        status = job.status()
+        assert isinstance(status, ServerJobStatus)
+        assert status.state == "done"
+        assert status.label == "st"
+        assert status.finished >= status.started >= status.submitted > 0
+        assert status.seconds > 0
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(RemoteError) as excinfo:
+            client.status("j999999")
+        assert excinfo.value.status == 404
+        assert excinfo.value.error.error == "UnknownJob"
+
+    def test_malformed_submit_is_400(self, client):
+        with pytest.raises(RemoteError) as excinfo:
+            client._call("POST", "/v1/jobs", {"schema": 1, "kind": "ServerSubmit"})
+        assert excinfo.value.status == 400
+
+    def test_submit_rejects_unknown_lane_and_processor(self, client):
+        with pytest.raises(RemoteError, match="lane"):
+            client.submit(
+                ProjectSpec(workload="message-handler"),
+                AnalysisRequest(),
+                lane="warp",
+            )
+        with pytest.raises(RemoteError, match="processor"):
+            client.submit(
+                ProjectSpec(workload="message-handler", processor="z80"),
+                AnalysisRequest(),
+            )
+
+    def test_failing_analysis_surfaces_as_job_failed(self, client):
+        job = client.submit(ProjectSpec(workload="no-such-workload"), AnalysisRequest())
+        with pytest.raises(JobFailed) as excinfo:
+            job.result(timeout=60)
+        assert excinfo.value.status == 500
+        assert "no-such-workload" in excinfo.value.error.message
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(RemoteError) as excinfo:
+            client._call("GET", "/v2/nope")
+        assert excinfo.value.status == 404
+
+    def test_cli_analyze_remote_matches_pins(self, client, capsys):
+        status = cli_main(
+            ["analyze", "--workload", "flight-control", "--all-modes",
+             "--remote", client.url, "--json"]
+        )
+        assert status == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "AnalysisResult"
+        assert {
+            entry["mode"]: (
+                entry["report"]["wcet_cycles"],
+                entry["report"]["bcet_cycles"],
+            )
+            for entry in payload["reports"]
+        } == {
+            str(mode) if mode else None: bounds
+            for mode, bounds in FLIGHT_CONTROL_PINS.items()
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Queue-state HTTP semantics (server with NO workers: jobs stay queued)
+# --------------------------------------------------------------------------- #
+class TestQueuedJobHTTP:
+    @pytest.fixture()
+    def idle_server(self):
+        server = AnalysisServer(port=0, jobs=1)
+        # Start ONLY the listener — no worker pool, so jobs never leave the
+        # queue and the not-ready/cancel paths are deterministic.
+        thread = threading.Thread(target=server._httpd.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.scheduler.close()
+        server._httpd.shutdown()
+        server._httpd.server_close()
+
+    def test_result_before_completion_is_409_then_410_after_cancel(self, idle_server):
+        client = ServerClient(idle_server.url, timeout=10)
+        job = client.submit(ProjectSpec(workload="message-handler"), AnalysisRequest())
+        with pytest.raises(ResultNotReady) as excinfo:
+            client.result(job.id)
+        assert excinfo.value.status == 409
+        status = client.cancel(job.id)
+        assert status.state == "cancelled"
+        with pytest.raises(JobCancelled) as excinfo:
+            client.result(job.id)
+        assert excinfo.value.status == 410
+
+    def test_queue_position_reported_while_queued(self, idle_server):
+        client = ServerClient(idle_server.url, timeout=10)
+        first = client.submit(ProjectSpec(workload="message-handler"), AnalysisRequest())
+        second = client.submit(
+            ProjectSpec(workload="flight-control"), AnalysisRequest()
+        )
+        assert client.status(first.id).position == 0
+        assert client.status(second.id).position == 1
+        assert client.healthz().queue_depth == {"interactive": 2, "batch": 0}
+
+
+# --------------------------------------------------------------------------- #
+# Graceful shutdown via the protocol
+# --------------------------------------------------------------------------- #
+class TestShutdown:
+    def test_http_shutdown_drains_and_stops_listening(self):
+        server = AnalysisServer(port=0, jobs=1).start()
+        client = ServerClient(server.url, timeout=60)
+        result = client.analyze(
+            ProjectSpec(source=MINI_C, name="t.c"), AnalysisRequest(), timeout=60
+        )
+        assert result.wcet_cycles > 0
+        client.shutdown()
+        for _ in range(100):
+            if server.closing and server._serve_thread and not server._serve_thread.is_alive():
+                break
+            import time
+
+            time.sleep(0.05)
+        from repro.server.client import ClientError
+
+        with pytest.raises((ClientError, RemoteError)):
+            client.healthz()
+
+
+# --------------------------------------------------------------------------- #
+# CLI --version (part of the subcommand exit-code contract)
+# --------------------------------------------------------------------------- #
+class TestCliVersion:
+    def test_version_on_main_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_version_on_subcommands(self, capsys):
+        for command in ("analyze", "check", "sweep", "bench", "report", "serve"):
+            with pytest.raises(SystemExit) as excinfo:
+                cli_main([command, "--version"])
+            assert excinfo.value.code == 0
+            assert "repro" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Concurrent multi-process access to the on-disk :class:`SummaryStore`.
+
+The analysis server's worker pool shares one store directory across worker
+processes; its advisory per-bucket file locking must make concurrent
+``flush()`` cycles lossless — every worker's entries survive, whichever
+order the read-merge-write cycles interleave in.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cache import SummaryStore
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+# --------------------------------------------------------------------------- #
+# Worker functions (module level: picklable for multiprocessing)
+# --------------------------------------------------------------------------- #
+def _hammer_same_bucket(path, worker, rounds, barrier):
+    """Each worker stages unique keys into ONE shared bucket, flushing every
+    round, with a barrier maximising read-merge-write interleaving."""
+    store = SummaryStore(path)
+    for round_no in range(rounds):
+        store.put("shared", f"worker{worker}-round{round_no}", (worker, round_no))
+        barrier.wait()  # everyone holds a dirty page against the same file...
+        store.flush()   # ...then all merge-flush cycles race each other
+
+
+def _flush_interleaved_buckets(path, worker, barrier):
+    """Workers flush alternating bucket sets concurrently (the satellite's
+    "two processes flushing interleaved buckets" scenario)."""
+    store = SummaryStore(path)
+    for bucket in (f"bucket{(worker + offset) % 2}" for offset in range(2)):
+        store.put(bucket, f"item-from-{worker}", worker)
+    barrier.wait()
+    store.flush()
+
+
+# --------------------------------------------------------------------------- #
+class TestConcurrentFlush:
+    WORKERS = 4
+    ROUNDS = 6
+
+    def _run(self, target, path, extra_args):
+        barrier = multiprocessing.Barrier(self.WORKERS)
+        processes = [
+            multiprocessing.Process(
+                target=target, args=(path, worker, *extra_args, barrier)
+            )
+            for worker in range(self.WORKERS)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        return SummaryStore(path)
+
+    def test_same_bucket_hammer_loses_no_entries(self, tmp_path):
+        """N processes repeatedly merge-flushing ONE bucket keep every entry.
+
+        Without the inter-process lock around the read-merge-write cycle,
+        two workers could both re-read the same baseline and the second
+        rename would drop the first worker's newest entries.
+        """
+        store = self._run(_hammer_same_bucket, str(tmp_path), (self.ROUNDS,))
+        expected = {
+            f"worker{worker}-round{round_no}"
+            for worker in range(self.WORKERS)
+            for round_no in range(self.ROUNDS)
+        }
+        present = {
+            key for key in expected if store.get("shared", key) is not None
+        }
+        assert present == expected, (
+            f"lost {len(expected) - len(present)} entries under concurrent "
+            f"flush: {sorted(expected - present)[:5]}..."
+        )
+
+    def test_interleaved_buckets_across_processes(self, tmp_path):
+        """Two bucket files written by alternating processes stay complete."""
+        store = self._run(_flush_interleaved_buckets, str(tmp_path), ())
+        for bucket in ("bucket0", "bucket1"):
+            for worker in range(self.WORKERS):
+                assert store.get(bucket, f"item-from-{worker}") == worker
+
+    def test_values_survive_concurrent_flush_bitwise(self, tmp_path):
+        """Entries read back equal what each worker staged (no torn pickles)."""
+        store = self._run(_hammer_same_bucket, str(tmp_path), (2,))
+        for worker in range(self.WORKERS):
+            for round_no in range(2):
+                assert store.get("shared", f"worker{worker}-round{round_no}") == (
+                    worker,
+                    round_no,
+                )
+
+
+class TestLockMechanics:
+    def test_lock_sidecar_is_not_a_bucket(self, tmp_path):
+        """The ``.lock`` sidecar must not count as (or corrupt) a bucket."""
+        store = SummaryStore(str(tmp_path))
+        store.put("b", "k", 1)
+        store.flush()
+        names = sorted(os.listdir(tmp_path))
+        assert "b.pkl" in names
+        assert "b.lock" in names, "flush must take the advisory bucket lock"
+        assert len(store) == 1  # .lock files are not buckets
+
+    def test_two_instances_interleave_without_loss(self, tmp_path):
+        """In-process interleaving (two store objects, one directory)."""
+        a = SummaryStore(str(tmp_path))
+        b = SummaryStore(str(tmp_path))
+        a.put("b", "from-a-1", 1)
+        a.flush()
+        b.put("b", "from-b-1", 2)
+        b.flush()  # merges a's entry despite b's stale page
+        a.put("b", "from-a-2", 3)
+        a.flush()  # merges b's entry despite a's stale sig
+        fresh = SummaryStore(str(tmp_path))
+        assert fresh.get("b", "from-a-1") == 1
+        assert fresh.get("b", "from-b-1") == 2
+        assert fresh.get("b", "from-a-2") == 3
+
+    def test_flush_reentrant_after_lock(self, tmp_path):
+        """flush() stays idempotent: staged entries clear, lock released."""
+        store = SummaryStore(str(tmp_path))
+        store.put("b", "k", "v")
+        store.flush()
+        writes = store.file_writes
+        store.flush()  # nothing staged: no second write, no deadlock
+        assert store.file_writes == writes
