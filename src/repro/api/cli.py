@@ -314,6 +314,63 @@ def cmd_sweep(args) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# fuzz (server-path differential fuzzing + wire fuzzing; see docs/testing.md)
+# --------------------------------------------------------------------------- #
+def cmd_fuzz(args) -> int:
+    from repro.testing.fuzz import run_fuzz
+
+    if args.output and not args.json:
+        print("error: fuzz --output requires --json", file=sys.stderr)
+        return EXIT_USAGE
+    _say(
+        args,
+        f"fuzz: {args.programs} programs from seed {args.base_seed}, "
+        f"{args.jobs} server worker(s), {args.inputs} input vectors each, "
+        f"{args.wire_iterations} wire mutations",
+    )
+    summary = run_fuzz(
+        programs=args.programs,
+        jobs=args.jobs,
+        base_seed=args.base_seed,
+        processor=args.processor,
+        inputs=args.inputs,
+        shrink=not args.no_shrink,
+        save_corpus=not args.no_corpus,
+        corpus_dir=args.corpus_dir,
+        wire_iterations=args.wire_iterations,
+        progress=lambda message: _say(args, f"  {message}"),
+    )
+    _say(
+        args,
+        f"fuzzed {summary.programs} programs / {summary.total_runs} concrete "
+        f"runs in {summary.seconds:.1f}s; presets "
+        + ", ".join(f"{k}={v}" for k, v in sorted(summary.preset_counts.items())),
+    )
+    for violation in summary.violations:
+        _say(args, f"  VIOLATION {violation}")
+        if violation.corpus_path:
+            _say(args, f"    corpus seed filed: {violation.corpus_path}")
+    if summary.wire is not None:
+        status = "ok" if summary.wire.ok else "FAILED"
+        _say(
+            args,
+            f"wire fuzz: {summary.wire.iterations} malformed requests, "
+            f"{len(summary.wire.violations)} mishandled ({status})",
+        )
+        for violation in summary.wire.violations:
+            _say(args, f"  WIRE VIOLATION {violation}")
+    if not summary.ok and summary.failing_seeds():
+        _say(
+            args,
+            "reproduce failing seeds with: "
+            + ", ".join(f"generate_case({seed})" for seed in summary.failing_seeds()),
+        )
+    if args.json:
+        _emit(args, summary.to_json(), "")
+    return EXIT_OK if summary.ok else EXIT_FAILURE
+
+
+# --------------------------------------------------------------------------- #
 # bench (the tracked macro perf workload)
 # --------------------------------------------------------------------------- #
 def cmd_bench(args) -> int:
@@ -545,6 +602,47 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true", help="JSON summary on stdout")
     sweep.add_argument("--output", default=None, help="write output to this file")
     sweep.set_defaults(func=cmd_sweep)
+
+    # fuzz -------------------------------------------------------------- #
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz the engine through the server path (grammar presets, "
+        "bit-identity vs the direct facade, wire-level mutations)",
+    )
+    fuzz.add_argument(
+        "--programs", type=int, default=200, help="programs to generate"
+    )
+    fuzz.add_argument("--base-seed", type=int, default=1, help="first seed")
+    fuzz.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes of the embedded analysis server "
+        "(1 = inline, 0 = all cores)",
+    )
+    fuzz.add_argument(
+        "--processor", choices=_PROCESSOR_CHOICES, default="simple",
+        help="processor timing model",
+    )
+    fuzz.add_argument(
+        "--inputs", type=int, default=3, help="input vectors per program"
+    )
+    fuzz.add_argument(
+        "--wire-iterations", type=int, default=200,
+        help="malformed wire requests to throw at the server (0 = skip)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="skip shrinking on failure"
+    )
+    fuzz.add_argument(
+        "--no-corpus", action="store_true",
+        help="do not auto-file shrunk violations into tests/corpus/",
+    )
+    fuzz.add_argument(
+        "--corpus-dir", default=None,
+        help="where to file shrunk violations (default: tests/corpus)",
+    )
+    fuzz.add_argument("--json", action="store_true", help="JSON summary on stdout")
+    fuzz.add_argument("--output", default=None, help="write output to this file")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     # bench ------------------------------------------------------------- #
     bench = sub.add_parser(

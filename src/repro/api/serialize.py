@@ -444,5 +444,13 @@ def from_json(data: Dict[str, Any], expected: Optional[Type] = None) -> Any:
         raise SchemaError(f"unknown serialised kind {kind!r}")
     try:
         return loader(data)
+    except SchemaError:
+        raise
     except KeyError as exc:
         raise SchemaError(f"serialised {kind} is missing field {exc}") from None
+    except (TypeError, ValueError, AttributeError) as exc:
+        # A field of the wrong JSON shape (a string where an object belongs,
+        # an int where a list belongs, ...) must surface as a schema problem,
+        # not leak the loader's internal exception to the caller — the HTTP
+        # front end turns SchemaError into 400, anything else into 500.
+        raise SchemaError(f"serialised {kind} is malformed: {exc}") from None

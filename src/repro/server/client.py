@@ -136,7 +136,7 @@ class ServerClient:
         )
         try:
             with urllib.request.urlopen(
-                request, timeout=timeout or self.timeout
+                request, timeout=timeout if timeout is not None else self.timeout
             ) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
@@ -208,26 +208,58 @@ class ServerClient:
                 if line:
                     yield serialize.from_json(json.loads(line), ServerEvent)
 
+    #: ``wait`` re-raises after this many *consecutive* stream/poll failures
+    #: (a dead server must surface as an error, not a silent spin).
+    MAX_WAIT_FAILURES = 8
+    #: Backoff bounds for the hiccup-retry loop: doubles from the floor to
+    #: the ceiling, resets on any successful exchange.
+    WAIT_BACKOFF_MIN = 0.05
+    WAIT_BACKOFF_MAX = 2.0
+
     def wait(self, job_id: str, timeout: Optional[float] = None) -> ServerJobStatus:
         """Block until the job reaches a terminal state (stream-driven, with
-        a polling fallback); raises :class:`ClientError` on timeout."""
+        a polling fallback); raises :class:`ClientError` on timeout.
+
+        Stream hiccups (socket read timeout on a quiet stream, torn
+        connection, truncated line) fall back to polling with capped
+        exponential backoff; after :attr:`MAX_WAIT_FAILURES` consecutive
+        failures the last error is re-raised instead of spinning until the
+        deadline.  The deadline is checked *before* every blocking exchange,
+        so a wait can never overshoot the caller's timeout by a poll
+        interval.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
+        backoff = self.WAIT_BACKOFF_MIN
+        failures = 0
+
+        def expired() -> bool:
+            return deadline is not None and time.monotonic() >= deadline
+
+        if expired():
+            raise ClientError(f"timed out waiting for job {job_id}")
         status = self.status(job_id)
         while status.state not in TERMINAL_STATES:
+            if expired():
+                raise ClientError(f"timed out waiting for job {job_id}")
             try:
                 for event in self.events(job_id):
                     if event.event in TERMINAL_STATES:
                         break
+                failures = 0
+                backoff = self.WAIT_BACKOFF_MIN
             except (ClientError, RemoteError, OSError, ValueError):
-                # Stream hiccup (socket read timeout on a quiet stream, torn
-                # connection, truncated line): fall back to polling — the
-                # status loop below is the source of truth.
-                time.sleep(0.05)
+                failures += 1
+                if failures >= self.MAX_WAIT_FAILURES:
+                    raise
+                # Never sleep past the deadline.
+                pause = backoff
+                if deadline is not None:
+                    pause = min(pause, max(deadline - time.monotonic(), 0.0))
+                time.sleep(pause)
+                backoff = min(backoff * 2, self.WAIT_BACKOFF_MAX)
+            if expired():
+                raise ClientError(f"timed out waiting for job {job_id}")
             status = self.status(job_id)
-            if status.state not in TERMINAL_STATES:
-                if deadline is not None and time.monotonic() > deadline:
-                    raise ClientError(f"timed out waiting for job {job_id}")
-                time.sleep(0.05)
         return status
 
     def healthz(self) -> ServerStats:

@@ -88,14 +88,34 @@ class _Handler(BaseHTTPRequestHandler):
             ),
         )
 
+    #: Upper bound on accepted request bodies; a Content-Length beyond this
+    #: is rejected before any read (an absurd length must not stall the
+    #: handler thread on a slow-trickle body).
+    MAX_BODY_BYTES = 16 * 1024 * 1024
+
     def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
+        header = self.headers.get("Content-Length", "0")
+        try:
+            length = int(header)
+        except (TypeError, ValueError):
+            raise WireError(
+                f"Content-Length is not an integer: {header!r}"
+            ) from None
+        if length < 0:
+            raise WireError(f"Content-Length is negative: {length}")
+        if length > self.MAX_BODY_BYTES:
+            raise WireError(
+                f"request body too large ({length} bytes > {self.MAX_BODY_BYTES})"
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             raise WireError("request body is empty")
         try:
             data = json.loads(raw)
-        except json.JSONDecodeError as exc:
+        except (ValueError, RecursionError) as exc:
+            # ValueError covers JSONDecodeError *and* UnicodeDecodeError
+            # (invalid UTF-8 bytes); RecursionError covers pathologically
+            # nested documents.  All are the client's fault: 400, never 500.
             raise WireError(f"request body is not valid JSON: {exc}") from None
         if not isinstance(data, dict):
             raise WireError("request body must be a JSON object")
@@ -124,7 +144,14 @@ class _Handler(BaseHTTPRequestHandler):
                 if len(parts) == 5 and parts[4] == "result":
                     return self._result(parts[3])
                 if len(parts) == 5 and parts[4] == "events":
-                    return self._events(parts[3], int(query.get("since", 0)))
+                    since_raw = query.get("since", "0")
+                    try:
+                        since = int(since_raw)
+                    except (TypeError, ValueError):
+                        return self._error(
+                            400, "BadQuery", f"since must be an integer: {since_raw!r}"
+                        )
+                    return self._events(parts[3], since)
             self._error(404, "NotFound", f"no such endpoint: GET {path}")
         except (BrokenPipeError, ConnectionResetError):  # client went away
             self.close_connection = True
@@ -146,6 +173,22 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
         except Exception as exc:  # noqa: BLE001
             self._error(500, type(exc).__name__, str(exc))
+
+    def _method_not_allowed(self) -> None:
+        """Unsupported verbs answer with the error envelope, not the base
+        handler's HTML 501 page (every error reply is machine-readable)."""
+        try:
+            self._error(
+                405,
+                "MethodNotAllowed",
+                f"{self.command} is not supported; use GET or POST",
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    do_DELETE = _method_not_allowed  # noqa: N815
+    do_PUT = _method_not_allowed  # noqa: N815
+    do_PATCH = _method_not_allowed  # noqa: N815
 
     # ------------------------------------------------------------------ #
     # Endpoints

@@ -49,6 +49,28 @@ class WireError(ReproError):
     """A malformed or inconsistent wire message."""
 
 
+def _require_str(value: Any, name: str, optional: bool = False) -> None:
+    """Reject non-string field values at the wire boundary.
+
+    The schema loaders only check envelope structure; without a type check a
+    submission like ``{"workload": 123}`` would pass validation, crash in a
+    worker and surface as a failed job (HTTP 500 on the result route) instead
+    of the 400 the client deserves.
+    """
+    if value is None and optional:
+        return
+    if not isinstance(value, str):
+        raise WireError(
+            f"{name} must be a string{' or null' if optional else ''}, "
+            f"got {type(value).__name__}"
+        )
+
+
+def _require_bool(value: Any, name: str) -> None:
+    if not isinstance(value, bool):
+        raise WireError(f"{name} must be a boolean, got {type(value).__name__}")
+
+
 # --------------------------------------------------------------------------- #
 # ProjectSpec
 # --------------------------------------------------------------------------- #
@@ -71,6 +93,13 @@ class ProjectSpec:
     name: str = ""
 
     def validate(self) -> None:
+        _require_str(self.workload, "ProjectSpec.workload", optional=True)
+        _require_str(self.source, "ProjectSpec.source", optional=True)
+        _require_str(self.assembly, "ProjectSpec.assembly", optional=True)
+        _require_str(self.entry, "ProjectSpec.entry", optional=True)
+        _require_str(self.annotations, "ProjectSpec.annotations", optional=True)
+        _require_str(self.processor, "ProjectSpec.processor")
+        _require_str(self.name, "ProjectSpec.name")
         supplied = [s for s in (self.workload, self.source, self.assembly) if s]
         if len(supplied) != 1:
             raise WireError(
@@ -230,7 +259,20 @@ class ServerSubmit:
     lane: str = "interactive"
 
     def validate(self) -> None:
+        if not isinstance(self.project, ProjectSpec):
+            raise WireError("ServerSubmit.project must be a ProjectSpec envelope")
+        if not isinstance(self.request, AnalysisRequest):
+            raise WireError("ServerSubmit.request must be an AnalysisRequest envelope")
         self.project.validate()
+        request = self.request
+        _require_str(request.entry, "AnalysisRequest.entry", optional=True)
+        _require_str(request.mode, "AnalysisRequest.mode", optional=True)
+        _require_str(
+            request.error_scenario, "AnalysisRequest.error_scenario", optional=True
+        )
+        _require_str(request.label, "AnalysisRequest.label")
+        _require_bool(request.all_modes, "AnalysisRequest.all_modes")
+        _require_bool(request.check_guidelines, "AnalysisRequest.check_guidelines")
         if self.lane not in LANES:
             raise WireError(f"unknown lane {self.lane!r}; available: {LANES}")
 

@@ -51,6 +51,16 @@ from repro.testing.oracle import (
 from repro.testing.shrink import Shrinker, shrink_case
 from repro.testing.corpus import CorpusCase, default_corpus_dir, load_corpus, save_case
 from repro.testing.sweep import SweepResult, resolve_jobs, run_sweep
+from repro.testing.fuzz import (
+    FuzzPreset,
+    FuzzSummary,
+    FuzzViolation,
+    WireFuzzSummary,
+    WireViolation,
+    default_presets,
+    run_fuzz,
+    run_wire_fuzz,
+)
 
 __all__ = [
     "FeatureMix",
@@ -73,4 +83,12 @@ __all__ = [
     "SweepResult",
     "resolve_jobs",
     "run_sweep",
+    "FuzzPreset",
+    "FuzzSummary",
+    "FuzzViolation",
+    "WireFuzzSummary",
+    "WireViolation",
+    "default_presets",
+    "run_fuzz",
+    "run_wire_fuzz",
 ]

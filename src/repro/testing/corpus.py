@@ -132,6 +132,12 @@ def annotations_to_text(annotations: AnnotationSet) -> List[str]:
             f"argrange {argrange.function} {argrange.register} "
             f"{argrange.low} {argrange.high}"
         )
+    for bound in annotations.recursion_bounds:
+        lines.append(f"recursion {bound.function} {bound.max_depth}")
+    hints = annotations.control_flow_hints
+    for address in sorted(hints.indirect_call_targets):
+        targets = ",".join(hints.indirect_call_targets[address])
+        lines.append(f"calltargets 0x{address:x} {targets}")
     return lines
 
 

@@ -12,8 +12,11 @@ Every generated program is, by construction:
 
 * **well typed** — only ``int`` scalars, ``int`` arrays and ``int *``
   parameters are emitted, and every name is declared before use;
-* **terminating** — all loops are counter loops with constant bounds and all
-  calls go strictly "downward" in the function list (no recursion);
+* **terminating** — all loops are counter loops with constant bounds (or
+  annotated goto cycles with constant trip counts) and all calls go strictly
+  "downward" in the function list, except opt-in recursive helpers whose
+  depth is bounded by construction and declared via a ``recursion``
+  annotation;
 * **memory safe** — array indices are either constants below the array length
   or loop counters whose bound does not exceed the array length (or inputs
   masked with ``& (len - 1)``);
@@ -26,6 +29,21 @@ range; the oracle enumerates concrete input vectors for them.  The feature mix
 (:class:`FeatureMix`) makes the grammar configurable: probabilities and limits
 for conditionals, loop kinds, call depth, arrays, pointer writes, annotated
 loops, and masked input-dependent indexing.
+
+Three grammar regions target the engine's special-cased hard spots and are
+**off by default** (so historical seeds render byte-identically) — the fuzz
+fleet (:mod:`repro.testing.fuzz`) rotates presets that switch them on:
+
+* ``allow_recursion`` — self-recursive helpers with a constant depth cap,
+  declared via a ``recursion`` annotation (the analyzer's
+  recursive-component path, which is excluded from the summary cache);
+* ``allow_goto_loops`` — irreducible two-entry goto cycles bounded only by
+  a label-anchored ``loopbound`` annotation (the IPET's non-canonical-header
+  path);
+* ``allow_function_pointers`` — indirect calls through ``int *`` handler
+  variables; :func:`render_case` compiles the rendered source to discover
+  the ``icall`` instruction addresses and emits the matching ``calltargets``
+  control-flow hints (the strict CFG reconstruction path).
 """
 
 from __future__ import annotations
@@ -127,7 +145,68 @@ class SReturn:
     expr: str
 
 
-Stmt = Union[SAssign, SIf, SFor, SWhileBreak, SCall, SReturn]
+@dataclass
+class SGotoLoop:
+    """An irreducible two-entry goto cycle (the corpus ``goto mid`` idiom)::
+
+        <var> = 0;
+        goto gl<uid>_mid;
+    gl<uid>_top:
+        <body>
+    gl<uid>_mid:
+        <var> = <var> + 1;
+        if (<var> < <bound>) {
+            goto gl<uid>_top;
+        }
+
+    The cycle is entered at ``mid`` (never at ``top``), so the loop's
+    canonical header has no external predecessor — the exact shape that once
+    degenerated the IPET loop-bound constraint to ``back edges <= 0``
+    (corpus seed ``adversarial-irreducible-goto-loop``).  The automatic
+    loop-bound analysis cannot see through the gotos; a ``loopbound``
+    annotation anchored on the *label* (``fn.gl<uid>_top``) bounds it.
+    Labels are derived from ``uid``, not line numbers, so shrinking a case
+    never stales them.  ``body`` executes ``bound - 1`` times; ``annotate``
+    (>= bound - 1 back edges) is emitted as the loop-bound annotation.
+    """
+
+    uid: int
+    var: str
+    bound: int
+    body: List["Stmt"] = field(default_factory=list)
+    annotate: int = 1
+
+
+@dataclass
+class SFnPtrCall:
+    """An indirect call through a function-pointer variable::
+
+        int *fp<uid> = &<primary>;
+        if (<cond>) {
+            fp<uid> = &<alternate>;
+        }
+        <lhs> = fp<uid>();
+
+    Compiles to an ``icall`` instruction; :func:`render_case` discovers its
+    address post-compile and emits the matching ``calltargets`` hint with
+    ``{primary, alternate}`` as the candidate set (strict CFG reconstruction
+    refuses unhinted indirect calls).  ``alternate``/``cond`` are optional —
+    ``None`` renders a single-target pointer call.
+    """
+
+    uid: int
+    primary: str
+    lhs: str
+    alternate: Optional[str] = None
+    cond: Optional[str] = None
+
+    def targets(self) -> Tuple[str, ...]:
+        if self.alternate is not None and self.alternate != self.primary:
+            return (self.primary, self.alternate)
+        return (self.primary,)
+
+
+Stmt = Union[SAssign, SIf, SFor, SWhileBreak, SCall, SReturn, SGotoLoop, SFnPtrCall]
 
 
 @dataclass
@@ -147,6 +226,11 @@ class GFunction:
     #: Inclusive value range of each scalar argument at every generated call
     #: site; rendered as an ``argrange`` annotation when set.
     arg_ranges: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Set on self-recursive helpers: the maximum number of activations one
+    #: outer call can cause (depth cap + 1).  Rendered as a ``recursion``
+    #: annotation; call sites only ever pass constant arguments inside
+    #: ``arg_ranges``, so the declared depth holds by construction.
+    recursion_depth: Optional[int] = None
 
 
 @dataclass
@@ -186,6 +270,9 @@ class RenderedCase:
 class _Emitter:
     def __init__(self) -> None:
         self.lines: List[str] = []
+        #: Function-pointer call sites in emission order; each entry is the
+        #: candidate-target tuple of one ``icall``-to-be.
+        self.fnptr_sites: List[Tuple[str, ...]] = []
 
     @property
     def next_line(self) -> int:
@@ -194,6 +281,38 @@ class _Emitter:
     def emit(self, indent: int, text: str) -> int:
         self.lines.append("    " * indent + text)
         return len(self.lines)
+
+
+def _attach_call_target_hints(
+    source: str, annotations: AnnotationSet, sites: List[Tuple[str, ...]]
+) -> None:
+    """Resolve the rendered function-pointer call sites to ``icall`` addresses.
+
+    ``calltargets`` hints are keyed by instruction *address*, which only
+    exists after compilation and layout.  Layout is deterministic and does
+    not depend on annotations, so compiling the rendered source once here
+    yields the final addresses: the Nth ``icall`` in address order is the Nth
+    function-pointer site in emission order (functions are laid out in
+    source order, statements in source order within them).  A source the
+    compiler rejects gets no hints — the oracle reports the compile error
+    itself.
+    """
+    from repro.minic import compile_source
+
+    try:
+        program = compile_source(source)
+    except Exception:  # noqa: BLE001 - the oracle owns compile diagnostics
+        return
+    addresses = sorted(
+        instruction.address
+        for function in program.functions.values()
+        for instruction in function.instructions
+        if instruction.opcode.value == "icall"
+    )
+    if len(addresses) != len(sites):
+        return
+    for address, targets in zip(addresses, sites):
+        annotations.add_call_targets(address, targets)
 
 
 def render_case(case: GeneratedCase) -> RenderedCase:
@@ -228,8 +347,12 @@ def render_case(case: GeneratedCase) -> RenderedCase:
         ):
             if low is not None:
                 annotations.add_argument_range(function.name, f"r{3 + position}", low, high)
+        if function.recursion_depth is not None:
+            annotations.add_recursion_bound(function.name, function.recursion_depth)
 
     source = "\n".join(emitter.lines) + "\n"
+    if emitter.fnptr_sites:
+        _attach_call_target_hints(source, annotations, emitter.fnptr_sites)
     return RenderedCase(
         source=source, annotations=annotations, line_count=len(emitter.lines)
     )
@@ -298,6 +421,34 @@ def _render_stmt(
     if isinstance(stmt, SReturn):
         emitter.emit(indent, f"return {stmt.expr};")
         return
+    if isinstance(stmt, SGotoLoop):
+        top = f"gl{stmt.uid}_top"
+        mid = f"gl{stmt.uid}_mid"
+        emitter.emit(indent, f"{stmt.var} = 0;")
+        emitter.emit(indent, f"goto {mid};")
+        emitter.emit(0, f"{top}:")
+        annotations.add_loop_bound(function.name, top, stmt.annotate)
+        _render_block(emitter, annotations, function, stmt.body, indent)
+        emitter.emit(0, f"{mid}:")
+        emitter.emit(indent, f"{stmt.var} = {stmt.var} + 1;")
+        emitter.emit(indent, f"if ({stmt.var} < {stmt.bound}) {{")
+        emitter.emit(indent + 1, f"goto {top};")
+        emitter.emit(indent, "}")
+        return
+    if isinstance(stmt, SFnPtrCall):
+        # Wrapped in its own block: a declaration is not a labelled-statement
+        # in mini-C, and this node may render directly after a goto label.
+        pointer = f"fp{stmt.uid}"
+        emitter.emit(indent, "{")
+        emitter.emit(indent + 1, f"int *{pointer} = &{stmt.primary};")
+        if stmt.alternate is not None and stmt.cond is not None:
+            emitter.emit(indent + 1, f"if ({stmt.cond}) {{")
+            emitter.emit(indent + 2, f"{pointer} = &{stmt.alternate};")
+            emitter.emit(indent + 1, "}")
+        emitter.emit(indent + 1, f"{stmt.lhs} = {pointer}();")
+        emitter.emit(indent, "}")
+        emitter.fnptr_sites.append(stmt.targets())
+        return
     raise TypeError(f"unknown statement node {type(stmt).__name__}")
 
 
@@ -337,6 +488,29 @@ class FeatureMix:
     allow_arrays: bool = True
     allow_while_break: bool = True
     allow_division: bool = True
+
+    # ---- engine hard-spot regions (off by default: historical seeds must
+    # render byte-identically; the fuzz fleet rotates presets that enable
+    # them — see repro.testing.fuzz) ------------------------------------- #
+    #: Self-recursive helpers with a constant depth cap and a ``recursion``
+    #: annotation (exercises the recursive-component analysis, which is
+    #: excluded from the summary cache).
+    allow_recursion: bool = False
+    max_recursive_helpers: int = 1
+    #: Maximum argument value passed to a recursive helper (activations per
+    #: outer call are capped at this + 1).
+    max_recursion_depth: int = 4
+    #: Irreducible two-entry goto cycles bounded only by a label-anchored
+    #: ``loopbound`` annotation (exercises the IPET's non-canonical-header
+    #: constraint anchoring).  Generated at nesting depth 0 only.
+    allow_goto_loops: bool = False
+    p_goto_loop: float = 0.10
+    #: Indirect calls through function-pointer variables, resolved by
+    #: ``calltargets`` hints discovered at render time (exercises strict CFG
+    #: reconstruction of ``icall``).
+    allow_function_pointers: bool = False
+    p_fnptr_call: float = 0.10
+    fnptr_handlers: int = 2
 
     #: Cap on the *estimated dynamic step count* of any single function
     #: (loops multiply, calls add the callee's estimate).  Without this,
@@ -382,6 +556,10 @@ class ProgramGenerator:
         self.rng = random.Random(seed)
         #: Estimated dynamic step cost of each finished function.
         self._costs: Dict[str, int] = {}
+        #: Model-stable uid counters for label/pointer names (not line
+        #: numbers, so shrinking never stales them).
+        self._goto_uid = 0
+        self._fnptr_uid = 0
 
     # ------------------------------------------------------------------ #
     def generate(self) -> GeneratedCase:
@@ -412,10 +590,16 @@ class ProgramGenerator:
 
         if mix.allow_pointers:
             case.functions.append(self._pointer_write_helper())
+        if mix.allow_function_pointers:
+            for index in range(mix.fnptr_handlers):
+                case.functions.append(self._handler_function(index))
 
         num_helpers = rng.randint(0, mix.max_helpers) if mix.allow_calls else 0
         for index in range(num_helpers):
             case.functions.append(self._generate_helper(case, index))
+        if mix.allow_recursion:
+            for index in range(rng.randint(1, mix.max_recursive_helpers)):
+                case.functions.append(self._recursive_helper(index))
         case.functions.append(self._generate_main(case))
         # Generous interpreter budget relative to the estimate: a real
         # divergence still trips it, a merely-large program does not.
@@ -433,6 +617,52 @@ class ProgramGenerator:
             returns_void=True,
         )
 
+    def _handler_function(self, index: int) -> GFunction:
+        """A zero-argument event handler reachable only through ``icall``."""
+        rng = self.rng
+        name = f"h{index}"
+        function = GFunction(name=name, params=[])
+        function.locals_ = [("t", str(rng.randint(-4, 4)))]
+        function.body = [
+            SAssign("t", f"(t * {rng.randint(2, 5)}) + {rng.randint(-3, 3)}")
+        ]
+        function.return_expr = "t"
+        self._costs[name] = self._CALL_OVERHEAD + 2 * self._STMT_COST
+        return function
+
+    def _recursive_helper(self, index: int) -> GFunction:
+        """``int rcN(int n)`` calling itself on ``n - 1`` while ``n > 0``.
+
+        Generated call sites only ever pass constants in ``[0, depth_cap]``,
+        so one outer call causes at most ``depth_cap + 1`` activations — the
+        value declared via the ``recursion`` annotation
+        (:attr:`GFunction.recursion_depth`).  The ``argrange`` annotation
+        covers every concrete argument (the recursion decrements toward 0).
+        """
+        rng = self.rng
+        name = f"rc{index}"
+        depth_cap = rng.randint(1, max(self.mix.max_recursion_depth, 1))
+        function = GFunction(
+            name=name,
+            params=[Param("n")],
+            recursion_depth=depth_cap + 1,
+        )
+        function.arg_ranges["n"] = (0, depth_cap)
+        function.locals_ = [("t", str(rng.randint(1, 4)))]
+        function.body = [
+            SAssign("t", "t + n"),
+            SIf(
+                cond="n > 0",
+                then=[SCall(callee=name, args=["n - 1"], lhs="t")],
+            ),
+            SAssign("t", f"t + {rng.randint(0, 3)}"),
+        ]
+        function.return_expr = "t"
+        self._costs[name] = (depth_cap + 1) * (
+            3 * self._STMT_COST + self._CALL_OVERHEAD
+        )
+        return function
+
     # ------------------------------------------------------------------ #
     def _generate_helper(self, case: GeneratedCase, index: int) -> GFunction:
         rng = self.rng
@@ -449,9 +679,11 @@ class ProgramGenerator:
 
     def _generate_main(self, case: GeneratedCase) -> GFunction:
         function = GFunction(name="main", params=[])
-        self._fill_function(
-            case, function, callees=self._callees(case, len(case.functions))
-        )
+        callees = self._callees(case, len(case.functions))
+        # Recursive helpers are only ever called from main: one predictable
+        # layer between the entry and the cycle keeps the cost model simple.
+        callees += [f for f in case.functions if f.recursion_depth is not None]
+        self._fill_function(case, function, callees=callees)
         return function
 
     def _callees(self, case: GeneratedCase, index: int) -> List[GFunction]:
@@ -468,7 +700,14 @@ class ProgramGenerator:
         for i in range(num_locals):
             function.locals_.append((f"v{i}", str(rng.randint(-4, 4))))
 
-        scope = _Scope(case=case, function=function, callees=callees)
+        scope = _Scope(
+            case=case,
+            function=function,
+            callees=callees,
+            fnptr_targets=[
+                f.name for f in case.functions if f.name.startswith("h")
+            ],
+        )
         function.body = self._generate_block(scope, depth=0)
         function.return_expr = self._expr(scope, mix.max_expr_depth)
         self._costs[function.name] = self._CALL_OVERHEAD + scope.estimate
@@ -500,6 +739,16 @@ class ProgramGenerator:
             and self.mix.allow_while_break
         ):
             return self._generate_while_break(scope, depth)
+        if self.mix.allow_goto_loops and depth == 0:
+            threshold += self.mix.p_goto_loop
+            if roll < threshold:
+                return self._generate_goto_loop(scope, depth)
+        if self.mix.allow_function_pointers and scope.fnptr_targets:
+            threshold += self.mix.p_fnptr_call
+            if roll < threshold:
+                call = self._generate_fnptr_call(scope)
+                if call is not None:
+                    return call
         threshold += mix.p_call
         if roll < threshold and scope.callees and self.mix.allow_calls:
             call = self._generate_call(scope)
@@ -553,6 +802,44 @@ class ProgramGenerator:
             var=var, bound=bound, body=body, break_cond=break_cond, annotate=bound
         )
 
+    def _generate_goto_loop(self, scope: "_Scope", depth: int) -> SGotoLoop:
+        rng = self.rng
+        var = scope.new_counter()
+        bound = rng.randint(2, min(self.mix.max_loop_bound, ARRAY_LENGTH))
+        uid = self._goto_uid
+        self._goto_uid += 1
+        scope.push_counter(var, bound)
+        scope.charge(self._LOOP_ITERATION_COST)
+        body = self._generate_block(scope, depth + 1)
+        scope.pop_counter()
+        return SGotoLoop(uid=uid, var=var, bound=bound, body=body, annotate=bound)
+
+    def _generate_fnptr_call(self, scope: "_Scope") -> Optional[SFnPtrCall]:
+        rng = self.rng
+        handlers = scope.fnptr_targets
+        cost = self._CALL_OVERHEAD + max(
+            self._costs.get(h, self._CALL_OVERHEAD) for h in handlers
+        )
+        if not scope.fits(cost, self.mix.max_dynamic_cost):
+            return None
+        scope.charge(cost)
+        uid = self._fnptr_uid
+        self._fnptr_uid += 1
+        primary = rng.choice(handlers)
+        alternate = None
+        cond = None
+        others = [h for h in handlers if h != primary]
+        if others and rng.random() < 0.6:
+            alternate = rng.choice(others)
+            cond = self._condition(scope)
+        return SFnPtrCall(
+            uid=uid,
+            primary=primary,
+            lhs=scope.random_local(rng),
+            alternate=alternate,
+            cond=cond,
+        )
+
     def _generate_call(self, scope: "_Scope") -> Optional[SCall]:
         rng = self.rng
         callee = rng.choice(scope.callees)
@@ -563,7 +850,11 @@ class ProgramGenerator:
         args: List[str] = []
         for param in callee.params:
             low, high = callee.arg_ranges.get(param.name, (-4, 4))
-            if rng.random() < 0.5:
+            if callee.recursion_depth is not None:
+                # The declared recursion depth assumes constant arguments
+                # inside the annotated range — never an expression.
+                args.append(str(rng.randint(low, high)))
+            elif rng.random() < 0.5:
                 args.append(str(rng.randint(low, high)))
             else:
                 # A value expression clamped into the declared range by a
@@ -661,6 +952,9 @@ class _Scope:
     case: GeneratedCase
     function: GFunction
     callees: List[GFunction]
+    #: Handler functions callable through a function pointer (empty unless
+    #: the mix enables function pointers).
+    fnptr_targets: List[str] = field(default_factory=list)
     counters: List[Tuple[str, int]] = field(default_factory=list)
     counter_names: List[str] = field(default_factory=list)
     #: Estimated dynamic steps of the function body generated so far.

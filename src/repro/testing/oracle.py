@@ -122,6 +122,10 @@ class OracleConfig:
     #: worker of a sweep (``None`` disables tier-2 caching).  Purely a
     #: speed knob: cached and fresh analyses are bit-identical.
     cache_dir: Optional[str] = None
+    #: Analysis options forwarded to the facade request (``None`` keeps the
+    #: service defaults).  The fuzz driver uses this to probe non-default
+    #: engine configurations, e.g. a tight ``max_contexts_per_function``.
+    analysis_options: Optional[object] = None
 
 
 #: Interesting scalar values probed first (clamped into the declared range).
@@ -246,9 +250,10 @@ class DifferentialOracle:
             # emitted by a compiler bug must surface as an analysis-error
             # violation, not crash the sweep.
             service = AnalysisService(project, summary_cache=summary_cache)
-            report = service.analyze(
-                ServiceRequest(entry=case.entry)
-            ).report
+            request = ServiceRequest(entry=case.entry)
+            if self.config.analysis_options is not None:
+                request.options = self.config.analysis_options
+            report = service.analyze(request).report
         except ReproError as exc:
             result.violations.append(
                 Violation(kind="analysis-error", message=f"{type(exc).__name__}: {exc}")

@@ -25,7 +25,9 @@ from repro.testing.generator import (
     GFunction,
     SAssign,
     SCall,
+    SFnPtrCall,
     SFor,
+    SGotoLoop,
     SIf,
     SReturn,
     SWhileBreak,
@@ -133,7 +135,7 @@ class Shrinker:
                     block = _resolve_block(candidate, path[:-1])
                     block[path[-1] : path[-1] + 1] = copy.deepcopy(body)
                     yield candidate
-            elif isinstance(stmt, (SFor, SWhileBreak)) and stmt.body:
+            elif isinstance(stmt, (SFor, SWhileBreak, SGotoLoop)) and stmt.body:
                 candidate = copy.deepcopy(case)
                 _resolve_stmt(candidate, path).body = []
                 yield candidate
@@ -153,6 +155,18 @@ class Shrinker:
             if isinstance(stmt, SWhileBreak) and stmt.break_cond is not None:
                 candidate = copy.deepcopy(case)
                 _resolve_stmt(candidate, path).break_cond = None
+                yield candidate
+            if isinstance(stmt, SGotoLoop) and stmt.bound > 1:
+                candidate = copy.deepcopy(case)
+                loop = _resolve_stmt(candidate, path)
+                loop.bound = 1
+                loop.annotate = 1
+                yield candidate
+            if isinstance(stmt, SFnPtrCall) and stmt.alternate is not None:
+                candidate = copy.deepcopy(case)
+                call = _resolve_stmt(candidate, path)
+                call.alternate = None
+                call.cond = None
                 yield candidate
 
     def _drop_locals(self, case: GeneratedCase):
@@ -188,7 +202,7 @@ class Shrinker:
 def _blocks_of(stmt: Stmt) -> List[Tuple[str, List[Stmt]]]:
     if isinstance(stmt, SIf):
         return [("then", stmt.then), ("els", stmt.els)]
-    if isinstance(stmt, (SFor, SWhileBreak)):
+    if isinstance(stmt, (SFor, SWhileBreak, SGotoLoop)):
         return [("body", stmt.body)]
     return []
 

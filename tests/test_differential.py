@@ -102,6 +102,8 @@ class TestCorpus:
             "adversarial-irreducible-goto-loop",
             "adversarial-deep-call-chain",
             "adversarial-aliasing-pointers",
+            "adversarial-recursion-depth",
+            "adversarial-fnptr-dual-target",
         ],
     )
     def test_corpus_case_stays_sound(self, name):
