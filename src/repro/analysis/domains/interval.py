@@ -50,22 +50,36 @@ class Interval:
     # ------------------------------------------------------------------ #
     # Constructors
     # ------------------------------------------------------------------ #
+    # The constructors below hand out *interned* instances for the values the
+    # value analysis produces constantly: top, bottom, small constants and a
+    # few tiny ranges (the comparison results).  Interval is frozen, so a
+    # shared instance is indistinguishable from a fresh one except by ``is`` —
+    # which is exactly the point: lattice operations and AbstractState
+    # comparisons gain identity fast paths, and the per-transfer allocation
+    # churn of `Interval.const` drops to a dict lookup.
     @staticmethod
     def top() -> "Interval":
-        return Interval(None, None)
+        return _TOP
 
     @staticmethod
     def bottom() -> "Interval":
-        return Interval(0, 0, is_bottom=True)
+        return _BOTTOM
 
     @staticmethod
     def const(value: int) -> "Interval":
+        cached = _CONST_POOL.get(value)
+        if cached is not None:
+            return cached
         return Interval(value, value)
 
     @staticmethod
     def range(lo: Optional[int], hi: Optional[int]) -> "Interval":
         if lo is not None and hi is not None and lo > hi:
-            return Interval.bottom()
+            return _BOTTOM
+        if lo == hi and lo is not None:
+            cached = _CONST_POOL.get(lo)
+            if cached is not None:
+                return cached
         return Interval(lo, hi)
 
     @staticmethod
@@ -133,17 +147,28 @@ class Interval:
     # Lattice operations
     # ------------------------------------------------------------------ #
     def join(self, other: "Interval") -> "Interval":
+        if self is other:
+            return self
         if self.is_bottom:
             return other
         if other.is_bottom:
             return self
         lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
         hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        # Return an operand when it already equals the result: downstream
+        # identity fast paths (AbstractValue.join, state comparisons) then
+        # short-circuit without comparing bounds again.
+        if lo == self.lo and hi == self.hi:
+            return self
+        if lo == other.lo and hi == other.hi:
+            return other
         return Interval(lo, hi)
 
     def meet(self, other: "Interval") -> "Interval":
+        if self is other:
+            return self
         if self.is_bottom or other.is_bottom:
-            return Interval.bottom()
+            return _BOTTOM
         if self.lo is None:
             lo = other.lo
         elif other.lo is None:
@@ -157,11 +182,17 @@ class Interval:
         else:
             hi = min(self.hi, other.hi)
         if lo is not None and hi is not None and lo > hi:
-            return Interval.bottom()
+            return _BOTTOM
+        if lo == self.lo and hi == self.hi:
+            return self
+        if lo == other.lo and hi == other.hi:
+            return other
         return Interval(lo, hi)
 
     def widen(self, other: "Interval") -> "Interval":
         """Standard widening: bounds that grew jump to ±∞ (clamped later)."""
+        if self is other:
+            return self
         if self.is_bottom:
             return other
         if other.is_bottom:
@@ -172,6 +203,8 @@ class Interval:
         hi = self.hi
         if other.hi is None or (hi is not None and other.hi > hi):
             hi = None
+        if lo is self.lo and hi is self.hi:
+            return self
         return Interval(lo, hi)
 
     def narrow(self, other: "Interval") -> "Interval":
@@ -359,30 +392,30 @@ class Interval:
     # ------------------------------------------------------------------ #
     def compare_lt(self, other: "Interval") -> "Interval":
         if self.is_bottom or other.is_bottom:
-            return Interval.bottom()
+            return _BOTTOM
         if self.hi is not None and other.lo is not None and self.hi < other.lo:
             return Interval.const(1)
         if self.lo is not None and other.hi is not None and self.lo >= other.hi:
             return Interval.const(0)
-        return Interval(0, 1)
+        return _ZERO_ONE
 
     def compare_le(self, other: "Interval") -> "Interval":
         if self.is_bottom or other.is_bottom:
-            return Interval.bottom()
+            return _BOTTOM
         if self.hi is not None and other.lo is not None and self.hi <= other.lo:
             return Interval.const(1)
         if self.lo is not None and other.hi is not None and self.lo > other.hi:
             return Interval.const(0)
-        return Interval(0, 1)
+        return _ZERO_ONE
 
     def compare_eq(self, other: "Interval") -> "Interval":
         if self.is_bottom or other.is_bottom:
-            return Interval.bottom()
+            return _BOTTOM
         if self.is_constant and other.is_constant:
             return Interval.const(int(self.lo == other.lo))
         if self.meet(other).is_bottom:
             return Interval.const(0)
-        return Interval(0, 1)
+        return _ZERO_ONE
 
     # ------------------------------------------------------------------ #
     # Refinement (used for branch conditions)
@@ -426,3 +459,12 @@ class Interval:
         lo = "-inf" if self.lo is None else str(self.lo)
         hi = "+inf" if self.hi is None else str(self.hi)
         return f"[{lo}, {hi}]"
+
+
+#: Interned instances handed out by the constructors above.  The pool covers
+#: the constants the analysis materialises constantly (immediates, loop steps,
+#: comparison results, byte offsets); anything outside it allocates as before.
+_TOP = Interval(None, None)
+_BOTTOM = Interval(0, 0, is_bottom=True)
+_ZERO_ONE = Interval(0, 1)
+_CONST_POOL = {value: Interval(value, value) for value in range(-1024, 4097)}

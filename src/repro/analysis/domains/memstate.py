@@ -44,21 +44,28 @@ class AbstractValue:
     is_float: bool = False
 
     # ------------------------------------------------------------------ #
+    # Like :class:`~repro.analysis.domains.interval.Interval`, the common
+    # values are interned: top/bottom/float are singletons and small constants
+    # come from a pool, so repeated reads and constant immediates share one
+    # frozen instance and the lattice operations below can answer by identity.
     @staticmethod
     def top() -> "AbstractValue":
-        return AbstractValue(Interval.top())
+        return _TOP_VALUE
 
     @staticmethod
     def bottom() -> "AbstractValue":
-        return AbstractValue(Interval.bottom())
+        return _BOTTOM_VALUE
 
     @staticmethod
     def const(value: int) -> "AbstractValue":
+        cached = _CONST_VALUES.get(value)
+        if cached is not None:
+            return cached
         return AbstractValue(Interval.const(value))
 
     @staticmethod
     def float_value() -> "AbstractValue":
-        return AbstractValue(Interval.top(), is_float=True)
+        return _FLOAT_VALUE
 
     @staticmethod
     def address(base: str, offset: Interval = None) -> "AbstractValue":  # type: ignore[assignment]
@@ -106,11 +113,21 @@ class AbstractValue:
             return other
         if other.is_bottom:
             return self
-        return AbstractValue(
-            self.interval.join(other.interval),
-            self.bases | other.bases,
-            self.is_float or other.is_float,
-        )
+        interval = self.interval.join(other.interval)
+        if other.bases <= self.bases:
+            bases = self.bases
+        elif self.bases <= other.bases:
+            bases = other.bases
+        else:
+            bases = self.bases | other.bases
+        is_float = self.is_float or other.is_float
+        # Hand back an operand when it already equals the result, so chains of
+        # joins over shared interned values allocate nothing.
+        if interval is self.interval and bases is self.bases and is_float == self.is_float:
+            return self
+        if interval is other.interval and bases is other.bases and is_float == other.is_float:
+            return other
+        return AbstractValue(interval, bases, is_float)
 
     def widen(self, other: "AbstractValue") -> "AbstractValue":
         if self is other:
@@ -119,11 +136,17 @@ class AbstractValue:
             return other
         if other.is_bottom:
             return self
-        return AbstractValue(
-            self.interval.widen(other.interval),
-            self.bases | other.bases,
-            self.is_float or other.is_float,
-        )
+        interval = self.interval.widen(other.interval)
+        if other.bases <= self.bases:
+            bases = self.bases
+        elif self.bases <= other.bases:
+            bases = other.bases
+        else:
+            bases = self.bases | other.bases
+        is_float = self.is_float or other.is_float
+        if interval is self.interval and bases is self.bases and is_float == self.is_float:
+            return self
+        return AbstractValue(interval, bases, is_float)
 
     def includes(self, other: "AbstractValue") -> bool:
         if self is other:
@@ -174,7 +197,11 @@ class AbstractValue:
 
 #: Shared top value — AbstractValue is frozen, so one instance serves all
 #: "unknown register" reads without a fresh allocation per lookup.
-_TOP_VALUE = AbstractValue(Interval(None, None))
+_TOP_VALUE = AbstractValue(Interval.top())
+_BOTTOM_VALUE = AbstractValue(Interval.bottom())
+_FLOAT_VALUE = AbstractValue(Interval.top(), is_float=True)
+#: Pooled small constants (same span as the interval constant pool).
+_CONST_VALUES = {value: AbstractValue(Interval.const(value)) for value in range(-1024, 4097)}
 
 #: A predicate fact operand: a register name or an integer constant.
 FactOperand = Tuple[str, Union[str, int]]
@@ -452,19 +479,81 @@ class AbstractState:
         self_registers = self._registers
         other_registers = other._registers
         registers: Dict[str, AbstractValue] = {}
-        for name, value in self_registers.items():
-            other_value = other_registers.get(name, _TOP_VALUE)
-            registers[name] = value.join(other_value)
-        for name, value in other_registers.items():
-            if name not in self_registers:
-                registers[name] = _TOP_VALUE.join(value)
+        if self_registers is other_registers:
+            # Copy-on-write copies share the register dict; joining a state
+            # with (a copy of) itself reduces to duplicating the mapping.
+            registers = dict(self_registers)
+        else:
+            for name, value in self_registers.items():
+                other_value = other_registers.get(name, _TOP_VALUE)
+                registers[name] = value.join(other_value)
+            for name, value in other_registers.items():
+                if name not in self_registers:
+                    registers[name] = _TOP_VALUE.join(value)
         other_facts = other._facts
-        facts = {
-            reg: fact
-            for reg, fact in self._facts.items()
-            if other_facts.get(reg) == fact
-        }
+        if self._facts is other_facts:
+            facts = dict(self._facts)
+        else:
+            facts = {
+                reg: fact
+                for reg, fact in self._facts.items()
+                if other_facts.get(reg) == fact
+            }
         return AbstractState._adopt(registers, self.memory.join(other.memory), facts)
+
+    @staticmethod
+    def join_all(states: Iterable["AbstractState"]) -> "AbstractState":
+        """Least upper bound of many states, computed in one pass.
+
+        Equivalent to folding :meth:`join` over ``states`` pairwise, but each
+        register, memory cell and fact is visited once instead of once per
+        operand pair — this is what callers merging all predecessor
+        edge-states of a block should use.
+        """
+        live = [state for state in states if state.reachable]
+        if not live:
+            return AbstractState.unreachable()
+        first = live[0]
+        if len(live) == 1:
+            return first.copy()
+        rest = live[1:]
+
+        # Registers: visit names in first-seen order (deterministic), joining
+        # the value across every operand; absent means top.
+        names = list(first._registers)
+        seen = set(names)
+        for state in rest:
+            for name in state._registers:
+                if name not in seen:
+                    seen.add(name)
+                    names.append(name)
+        registers: Dict[str, AbstractValue] = {}
+        for name in names:
+            value = first._registers.get(name, _TOP_VALUE)
+            for state in rest:
+                value = value.join(state._registers.get(name, _TOP_VALUE))
+            registers[name] = value
+
+        # Memory: only cells known in every operand survive.
+        cells: Dict[Tuple[str, int], AbstractValue] = {}
+        for key, value in first.memory._cells.items():
+            known_everywhere = True
+            for state in rest:
+                other_value = state.memory._cells.get(key)
+                if other_value is None:
+                    known_everywhere = False
+                    break
+                value = value.join(other_value)
+            if known_everywhere:
+                cells[key] = value
+
+        # Facts: kept only when every operand agrees.
+        facts = {
+            register: fact
+            for register, fact in first._facts.items()
+            if all(state._facts.get(register) == fact for state in rest)
+        }
+        return AbstractState._adopt(registers, AbstractMemory._adopt(cells), facts)
 
     def widen(self, other: "AbstractState") -> "AbstractState":
         if not self.reachable:
@@ -494,6 +583,13 @@ class AbstractState:
             return True
         if not self.reachable:
             return False
+        if (
+            self._registers is other._registers
+            and self._facts is other._facts
+            and self.memory._cells is other.memory._cells
+        ):
+            # Copy-on-write copies of one state: trivially equal.
+            return True
         for name, value in self._registers.items():
             if not value.includes(other.get(name)):
                 # self constrains `name` more than other does -> not an

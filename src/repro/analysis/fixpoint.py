@@ -46,6 +46,10 @@ class FixpointResult(Generic[State]):
     edge_out: Dict[tuple, State] = field(default_factory=dict)
     #: Number of worklist iterations performed.
     iterations: int = 0
+    #: Number of pairwise joins performed at merge points.
+    joins: int = 0
+    #: Number of widenings applied at loop heads.
+    widens: int = 0
 
 
 class ForwardSolver(Generic[State]):
@@ -135,6 +139,8 @@ class ForwardSolver(Generic[State]):
         edge_out = result.edge_out
 
         iterations = 0
+        joins = 0
+        widens = 0
         while heap:
             _, block = heapq.heappop(heap)
             pending.discard(block)
@@ -169,8 +175,10 @@ class ForwardSolver(Generic[State]):
                             and visits[successor] >= widen_after
                         ):
                             new_state = self.widen(old, out_state)
+                            widens += 1
                         else:
                             new_state = self.join(old, out_state)
+                            joins += 1
                         block_in[successor] = new_state
                         changed = True
                 if changed and successor not in pending:
@@ -181,6 +189,8 @@ class ForwardSolver(Generic[State]):
 
         result.block_in = block_in
         result.iterations = iterations
+        result.joins = joins
+        result.widens = widens
         return result
 
 

@@ -434,16 +434,15 @@ class LoopBoundAnalysis:
         ]
 
     def _value_at_loop_entry(self, loop: Loop, register: str) -> Interval:
-        interval = Interval.bottom()
-        for source, target in self._loop_entry_edges(loop):
-            state = self.values.edge_state(source, target)
-            if not state.reachable:
-                continue
-            value = state.get(register)
-            if value.is_float:
-                return Interval.top()
-            interval = interval.join(value.interval)
-        return interval
+        # One batched join of every entry edge, cached on the value-analysis
+        # result; each per-register probe then reads the merged state directly.
+        state = self.values.joined_edge_state(tuple(self._loop_entry_edges(loop)))
+        if not state.reachable:
+            return Interval.bottom()
+        value = state.get(register)
+        if value.is_float:
+            return Interval.top()
+        return value.interval
 
     def _limit_interval(self, loop: Loop, limit) -> Interval:
         if isinstance(limit, Imm) and isinstance(limit.value, int):

@@ -381,11 +381,28 @@ def cmd_bench(args) -> int:
     )
 
     _say(args, "running macro workload (analyses + 50-seed differential sweep)...")
-    record = run_macro_workload(args.label, jobs=args.jobs, cache_dir=args.cache_dir)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            record = run_macro_workload(
+                args.label, jobs=args.jobs, cache_dir=args.cache_dir
+            )
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(25)
+    else:
+        record = run_macro_workload(args.label, jobs=args.jobs, cache_dir=args.cache_dir)
 
     _say(args, f"total: {record.total_seconds:.2f}s")
     for phase, seconds in sorted(record.phases.items()):
         _say(args, f"  {phase:<28s} {seconds:8.3f}s")
+    for counter, count in sorted(record.counters.items()):
+        _say(args, f"  {counter:<28s} {count:8d}")
     _say(args, f"  sweep checksum: {record.identity['sweep_checksum']}")
     cache = record.cache
     for tier in ("tier1", "tier2"):
@@ -681,6 +698,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--json", action="store_true", help="print the measurement JSON on stdout"
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="wrap the workload in cProfile and print the top-25 functions "
+        "by cumulative time to stderr (the measured seconds then include "
+        "profiler overhead; do not append such runs)",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -144,13 +144,22 @@ def _load_loop_report(data: Dict[str, Any]) -> LoopReport:
 def _dump_phase_timing(timing: PhaseTiming) -> Dict[str, Any]:
     return _envelope(
         "PhaseTiming",
-        {"phase": timing.phase, "seconds": timing.seconds, "detail": timing.detail},
+        {
+            "phase": timing.phase,
+            "seconds": timing.seconds,
+            "detail": timing.detail,
+            "iterations": timing.iterations,
+        },
     )
 
 
 def _load_phase_timing(data: Dict[str, Any]) -> PhaseTiming:
     return PhaseTiming(
-        phase=data["phase"], seconds=data["seconds"], detail=data["detail"]
+        phase=data["phase"],
+        seconds=data["seconds"],
+        detail=data["detail"],
+        # Pre-counter payloads (older peers) lack the field; default to 0.
+        iterations=data.get("iterations", 0),
     )
 
 

@@ -72,6 +72,10 @@ class BenchmarkRecord:
     #: persistent store was attached (a "warm-capable" run), the counters are
     #: tier-1/tier-2 hits and misses summed over the whole workload.
     cache: Dict[str, object] = field(default_factory=dict)
+    #: Work counters of the analysis half (fixpoint iterations, simplex
+    #: pivots), summed over all analyses — wall-time attribution without a
+    #: profiler.
+    counters: Dict[str, int] = field(default_factory=dict)
     python: str = field(default_factory=platform.python_version)
     machine: str = field(default_factory=machine_fingerprint)
 
@@ -93,6 +97,7 @@ class BenchmarkRecord:
             "identity": self.identity,
             "workload": self.workload,
             "cache": self.cache,
+            "counters": self.counters,
         }
 
 
@@ -102,13 +107,14 @@ class BenchmarkRecord:
 def run_analysis_half(repeats: int = ANALYSIS_REPEATS, cache_dir: Optional[str] = None):
     """Analyse the two paper workloads through the batch API.
 
-    Returns ``(reports, phase_seconds, wall, cache_stats)``.  All analyses of
+    Returns ``(reports, phase_seconds, wall, cache_stats, counters)``.  All analyses of
     one benchmark run share an in-process summary cache (that *is* the
     workload now: the engine memoises repeated analyses); ``cache_dir``
     additionally attaches the persistent tier shared with previous runs.
     """
     started = time.perf_counter()
     phase_totals: Dict[str, float] = {}
+    counters: Dict[str, int] = {}
     reports = {}
     # Cache wiring through the facade's single precedence resolver; an absent
     # cache_dir means *no* persistent tier (never a global default), so the
@@ -150,9 +156,16 @@ def run_analysis_half(repeats: int = ANALYSIS_REPEATS, cache_dir: Optional[str] 
             for phase, seconds in report.phase_seconds().items():
                 key = f"analysis.{phase}"
                 phase_totals[key] = phase_totals.get(key, 0.0) + seconds
+            for timing in report.phases:
+                if timing.iterations:
+                    if timing.phase == "path analysis":
+                        key = "analysis.simplex_pivots"
+                    else:
+                        key = "analysis.fixpoint_iterations"
+                    counters[key] = counters.get(key, 0) + timing.iterations
     wall = time.perf_counter() - started
     phase_totals["analysis.wall"] = wall
-    return reports, phase_totals, wall, cache.stats()
+    return reports, phase_totals, wall, cache.stats(), counters
 
 
 def run_sweep_half(jobs: int = 1, cache_dir: Optional[str] = None) -> SweepResult:
@@ -180,7 +193,9 @@ def run_macro_workload(
     CI asserts on every push.
     """
     started = time.perf_counter()
-    reports, phases, _, analysis_cache_stats = run_analysis_half(cache_dir=cache_dir)
+    reports, phases, _, analysis_cache_stats, counters = run_analysis_half(
+        cache_dir=cache_dir
+    )
     sweep = run_sweep_half(jobs=jobs, cache_dir=cache_dir)
     total = time.perf_counter() - started
 
@@ -227,6 +242,7 @@ def run_macro_workload(
         workload=workload,
         jobs=jobs,
         cache=cache_stats,
+        counters=counters,
     )
 
 

@@ -42,7 +42,12 @@ from repro.analysis.loopbounds import LoopBoundAnalysis, LoopBoundResult
 from repro.analysis.summaries import FunctionSummary, SummaryCache
 from repro.cache import configured_store
 from repro.analysis.reachability import find_unreachable_code
-from repro.analysis.value import AccessInfo, ValueAnalysis, ValueAnalysisResult
+from repro.analysis.value import (
+    AccessInfo,
+    ValueAnalysis,
+    ValueAnalysisResult,
+    default_engine,
+)
 from repro.annotations.registry import AnnotationSet
 from repro.cfg.callgraph import CallGraph, build_callgraph
 from repro.cfg.graph import ControlFlowGraph
@@ -123,6 +128,10 @@ class AnalysisOptions:
     compute_bcet: bool = True
     #: Cap on distinct argument contexts analysed per callee.
     max_contexts_per_function: int = 16
+    #: Value-analysis execution engine: "fused" (block-compiled kernels) or
+    #: "reference" (instruction-at-a-time oracle).  Defaults to the
+    #: ``REPRO_ENGINE`` environment variable, falling back to "fused".
+    engine: str = field(default_factory=default_engine)
 
 
 class WCETAnalyzer:
@@ -280,7 +289,11 @@ class WCETAnalyzer:
             "orchestration",
         ):
             phases.append(
-                PhaseTiming(phase_name, clock.seconds.get(phase_name, 0.0))
+                PhaseTiming(
+                    phase_name,
+                    clock.seconds.get(phase_name, 0.0),
+                    iterations=analysis_state.counters.get(phase_name, 0),
+                )
             )
 
         entry_report = analysis_state.reports[entry]
@@ -389,10 +402,14 @@ class WCETAnalyzer:
                     loops,
                     initial_registers=initial_registers,
                     assume_initial_globals=self.options.assume_initial_globals,
+                    engine=self.options.engine,
                 )
                 values = value_analysis.run()
                 pristine_bounds = LoopBoundAnalysis(cfg, loops, values).run()
                 run.value_memo[memo_key] = (value_analysis, values, pristine_bounds)
+                run.counters["loop/value analysis"] = (
+                    run.counters.get("loop/value analysis", 0) + values.iterations
+                )
             else:
                 value_analysis, values, pristine_bounds = memo_entry
             # Loop annotations mutate the bound set (and differ per mode);
@@ -465,7 +482,7 @@ class WCETAnalyzer:
                 header: bound.max_back_edges for header, bound in bounds.bounds.items()
             }
 
-            ipet = IPETBuilder(cfg, loops)
+            ipet = IPETBuilder(cfg, loops, engine=self.options.engine)
             if self.options.compute_bcet:
                 # Both objectives share one constraint system (and, under the
                 # bespoke simplex, one phase-1 feasibility basis).
@@ -479,6 +496,11 @@ class WCETAnalyzer:
                     backend=self.options.ilp_backend,
                 )
                 bcet_cycles = bcet_result.bound_cycles
+                run.counters["path analysis"] = (
+                    run.counters.get("path analysis", 0)
+                    + wcet_result.ilp_pivots
+                    + bcet_result.ilp_pivots
+                )
             else:
                 wcet_result = ipet.solve(
                     table.wcet_weights(),
@@ -490,6 +512,9 @@ class WCETAnalyzer:
                     backend=self.options.ilp_backend,
                 )
                 bcet_cycles = 0
+                run.counters["path analysis"] = (
+                    run.counters.get("path analysis", 0) + wcet_result.ilp_pivots
+                )
 
         unknown_accesses = sum(1 for info in accesses.values() if info.unknown)
         imprecise_accesses = sum(
@@ -963,6 +988,9 @@ class _RunState:
     summaries: SummaryCache = None
     bucket: str = ""
     hints_dig: str = ""
+    #: Per-phase work counters (fixpoint iterations, simplex pivots) that
+    #: end up on the matching :class:`PhaseTiming` entries.
+    counters: Dict[str, int] = field(default_factory=dict)
     #: Loop forests / loop-value memo (shared across modes when the run is
     #: part of an ``analyze_all_modes`` pipeline, run-local otherwise).
     loops_by_function: Dict[str, LoopForest] = field(default_factory=dict)

@@ -97,6 +97,8 @@ class ILPSolution:
     status: str = "optimal"
     #: Number of branch-and-bound nodes explored (1 = integral root relaxation).
     nodes: int = 1
+    #: Simplex pivots spent producing this solution (0 for the scipy backend).
+    pivots: int = 0
 
     def value(self, variable: str) -> float:
         return self.values.get(variable, 0.0)
@@ -108,9 +110,11 @@ class ILPSolution:
 class ILPProblem:
     """A named-variable ILP: maximise/minimise a linear objective."""
 
-    def __init__(self, name: str = "ilp", maximise: bool = True):
+    def __init__(self, name: str = "ilp", maximise: bool = True, engine: str = "fused"):
         self.name = name
         self.maximise = maximise
+        #: Simplex tableau engine ("fused" dense-row storage or "reference").
+        self.engine = engine
         self._variables: Dict[str, Tuple[float, Optional[float], bool]] = {}
         self._order: List[str] = []
         self.constraints: List[Constraint] = []
@@ -181,6 +185,7 @@ class ILPProblem:
         # is almost always integral and the loop ends after inspecting it.
         best: Optional[ILPSolution] = None
         nodes = 0
+        total_pivots = relaxed.pivots
         stack: List[Tuple[Dict[str, Tuple[float, Optional[float]]], Optional[ILPSolution]]] = [
             ({}, relaxed)
         ]
@@ -196,6 +201,7 @@ class ILPProblem:
             else:
                 try:
                     solution = self._solve_relaxation(backend, extra_bounds=extra)
+                    total_pivots += solution.pivots
                 except InfeasibleILPError:
                     continue
             if best is not None:
@@ -236,6 +242,7 @@ class ILPProblem:
                 f"{self.name}: no integral solution exists for the path analysis ILP"
             )
         best.nodes = nodes
+        best.pivots = total_pivots
         return best
 
     # ------------------------------------------------------------------ #
@@ -394,10 +401,11 @@ class ILPProblem:
         return a_ub, b_ub, a_eq, b_eq
 
     def _solve_simplex_sparse(self, objective, index, bounds) -> ILPSolution:
-        """Hand constraint rows to the sparse simplex without densification."""
+        """Hand constraint rows to the bespoke sparse/dense-row simplex."""
         a_ub, b_ub, a_eq, b_eq = self._sparse_system(index, bounds)
         result = simplex.solve_sparse_lp(
-            objective, a_ub, b_ub, a_eq, b_eq, maximise=self.maximise
+            objective, a_ub, b_ub, a_eq, b_eq,
+            maximise=self.maximise, engine=self.engine,
         )
         if result.status == "infeasible":
             raise InfeasibleILPError(f"{self.name}: path analysis ILP is infeasible")
@@ -410,7 +418,11 @@ class ILPProblem:
             variable: float(value)
             for variable, value in zip(self._order, result.values or [])
         }
-        return ILPSolution(objective=self.objective.evaluate(values), values=values)
+        return ILPSolution(
+            objective=self.objective.evaluate(values),
+            values=values,
+            pivots=result.pivots,
+        )
 
 
 def solve_ilp(problem: ILPProblem, backend: str = "auto") -> ILPSolution:
@@ -442,9 +454,14 @@ def solve_ilp_pair(
     index = {variable: position for position, variable in enumerate(order)}
     bounds = first._default_bounds()
     a_ub, b_ub, a_eq, b_eq = first._sparse_system(index, bounds)
-    prepared = simplex.prepare_sparse_tableau(len(order), a_ub, b_ub, a_eq, b_eq)
+    prepared = simplex.prepare_sparse_tableau(
+        len(order), a_ub, b_ub, a_eq, b_eq, engine=first.engine
+    )
 
     solutions: List[ILPSolution] = []
+    # Phase 1 runs once for the pair; attribute its pivots to the first
+    # solution so a sum over both counts every pivot exactly once.
+    phase1_pivots = prepared.pivots
     for problem in (first, second):
         if not prepared.feasible:
             raise InfeasibleILPError(f"{problem.name}: path analysis ILP is infeasible")
@@ -465,6 +482,8 @@ def solve_ilp_pair(
             variable: float(value)
             for variable, value in zip(order, result.values or [])
         }
+        pivots = phase1_pivots + result.pivots
+        phase1_pivots = 0
         relaxed = ILPSolution(
             objective=problem.objective.evaluate(values), values=values
         )
@@ -480,6 +499,7 @@ def solve_ilp_pair(
                 objective=problem.objective.evaluate(rounded),
                 values=rounded,
                 nodes=1,
+                pivots=pivots,
             )
         )
     return solutions[0], solutions[1]

@@ -50,6 +50,8 @@ class PathAnalysisResult:
     block_counts: Dict[int, int] = field(default_factory=dict)
     edge_counts: Dict[Tuple[int, int], int] = field(default_factory=dict)
     ilp_nodes: int = 1
+    #: Simplex pivots spent on this objective (0 for the scipy backend).
+    ilp_pivots: int = 0
 
     def count_of(self, block_id: int) -> int:
         return self.block_counts.get(block_id, 0)
@@ -77,9 +79,10 @@ def _edge_variable(source: int, target: int) -> str:
 class IPETBuilder:
     """Builds and solves the IPET ILP for one function."""
 
-    def __init__(self, cfg: ControlFlowGraph, loops: LoopForest):
+    def __init__(self, cfg: ControlFlowGraph, loops: LoopForest, engine: str = "fused"):
         self.cfg = cfg
         self.loops = loops
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     def build(
@@ -100,6 +103,7 @@ class IPETBuilder:
         problem = ILPProblem(
             name=f"ipet:{self.cfg.function_name}:{'wcet' if maximise else 'bcet'}",
             maximise=maximise,
+            engine=self.engine,
         )
 
         blocks = self.cfg.node_ids()
@@ -320,4 +324,5 @@ class IPETBuilder:
             block_counts=block_counts,
             edge_counts=edge_counts,
             ilp_nodes=solution.nodes,
+            ilp_pivots=solution.pivots,
         )

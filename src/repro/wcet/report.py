@@ -50,6 +50,10 @@ class PhaseTiming:
     phase: str
     seconds: float
     detail: str = ""
+    #: Work counter attributing the wall time: fixpoint solver iterations
+    #: for "loop/value analysis", simplex pivots for "path analysis",
+    #: 0 where no counter applies.
+    iterations: int = 0
 
 
 @dataclass
@@ -198,7 +202,12 @@ class WCETReport:
 
         lines.append("Analysis phases (Figure 1):")
         for timing in self.phases:
-            lines.append(f"  {timing.phase:<22s} {timing.seconds * 1000.0:8.2f} ms  {timing.detail}")
+            detail = timing.detail
+            if timing.iterations:
+                unit = "pivots" if timing.phase == "path analysis" else "iterations"
+                counter = f"{timing.iterations} {unit}"
+                detail = f"{detail} ({counter})" if detail else counter
+            lines.append(f"  {timing.phase:<22s} {timing.seconds * 1000.0:8.2f} ms  {detail}")
         lines.append("")
 
         lines.append("Per-function bounds:")

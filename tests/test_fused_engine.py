@@ -1,0 +1,246 @@
+"""Fused-engine equivalence: kernels, interning, dense simplex rows.
+
+The fused execution layer (block-compiled transfer kernels, interned lattice
+values, dense simplex rows) must be *bit-identical* to the reference path —
+not merely close.  Three layers of evidence:
+
+* a differential sweep: generator seeds 1-100, rotating through all six fuzz
+  presets, full-report identity fused vs reference;
+* unit tests for the interval/abstract-value interning invariants the fast
+  paths rely on;
+* the dict-tableau vs dense-row-tableau pivot sequence of the simplex.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.domains.interval import Interval
+from repro.analysis.domains.memstate import AbstractState, AbstractValue
+from repro.analysis.value import ENGINES, default_engine
+from repro.api import Project
+from repro.api.service import AnalysisRequest, AnalysisService
+from repro.errors import AnalysisError, ReproError
+from repro.testing import generate_case, render_case
+from repro.testing.fuzz import default_presets, report_identity
+from repro.wcet import simplex
+from repro.wcet.analyzer import AnalysisOptions
+
+#: The differential sweep: 100 generated programs, preset rotation covering
+#: every fuzz hard spot (recursion, irreducible flow, function pointers,
+#: context caps) at least 16 times each.
+SWEEP_SEEDS = list(range(1, 101))
+PRESETS = default_presets()
+
+
+def _engine_options(preset, engine: str) -> AnalysisOptions:
+    if preset.options is None:
+        return AnalysisOptions(engine=engine)
+    return dataclasses.replace(preset.options, engine=engine)
+
+
+def _identity_under(service: AnalysisService, options: AnalysisOptions):
+    """Full-report identity (or the exact failure) of one analysis."""
+    try:
+        result = service.analyze(AnalysisRequest(options=options))
+    except ReproError as exc:
+        return ("error", type(exc).__name__, str(exc))
+    return {mode: report_identity(report) for mode, report in result.reports.items()}
+
+
+class TestFusedVsReferenceSweep:
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_engines_agree_bit_for_bit(self, seed):
+        preset = PRESETS[seed % len(PRESETS)]
+        case = generate_case(seed, preset.mix)
+        rendered = render_case(case)
+        project = Project.from_source(
+            rendered.source,
+            entry=case.entry,
+            annotations=rendered.annotations,
+            cache="off",
+            name=case.name,
+        )
+        service = AnalysisService(project)
+        fused = _identity_under(service, _engine_options(preset, "fused"))
+        reference = _identity_under(service, _engine_options(preset, "reference"))
+        assert fused == reference, (
+            f"seed {seed} preset {preset.name}: fused and reference engines diverged"
+        )
+
+
+class TestEngineSelection:
+    def test_default_engine_is_fused(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert default_engine() == "fused"
+
+    def test_env_selects_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        assert default_engine() == "reference"
+        assert AnalysisOptions().engine == "reference"
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(AnalysisError):
+            default_engine()
+
+    def test_engines_tuple_is_exhaustive(self):
+        assert ENGINES == ("fused", "reference")
+
+
+class TestIntervalInterning:
+    def test_nullary_constructors_are_singletons(self):
+        assert Interval.top() is Interval.top()
+        assert Interval.bottom() is Interval.bottom()
+
+    def test_small_constants_are_pooled(self):
+        for value in (-1024, -1, 0, 1, 255, 4096):
+            assert Interval.const(value) is Interval.const(value)
+
+    def test_degenerate_range_is_the_pooled_constant(self):
+        assert Interval.range(7, 7) is Interval.const(7)
+        assert Interval.range(5, 3) is Interval.bottom()
+
+    def test_out_of_pool_constants_still_compare_equal(self):
+        assert Interval.const(1 << 20) == Interval(1 << 20, 1 << 20)
+
+    def test_join_returns_operand_when_result_equals_it(self):
+        a = Interval.const(1)
+        wide = Interval(1, 5)
+        assert a.join(a) is a
+        assert wide.join(a) is wide
+        assert a.join(wide) is wide
+
+    def test_meet_returns_operand_when_result_equals_it(self):
+        narrow = Interval(2, 3)
+        wide = Interval(0, 10)
+        assert wide.meet(narrow) is narrow
+        assert narrow.meet(wide) is narrow
+
+    def test_widen_self_identity(self):
+        a = Interval(0, 8)
+        assert a.widen(a) is a
+        assert Interval.top().widen(Interval.top()) is Interval.top()
+
+    def test_abstract_value_singletons(self):
+        assert AbstractValue.top() is AbstractValue.top()
+        assert AbstractValue.bottom() is AbstractValue.bottom()
+        assert AbstractValue.float_value() is AbstractValue.float_value()
+        assert AbstractValue.const(42) is AbstractValue.const(42)
+
+    def test_abstract_value_join_identity_fast_path(self):
+        value = AbstractValue.const(3)
+        assert value.join(value) is value
+        wide = AbstractValue(Interval(0, 9))
+        assert wide.join(value) is wide
+
+    def test_state_includes_short_circuits_on_shared_dicts(self):
+        state = AbstractState()
+        state.set("r1", AbstractValue.const(4))
+        clone = state.copy()
+        # The copy shares registers/facts/memory; includes() must answer
+        # True without a per-register walk (pointer fast path).
+        assert state.includes(clone)
+        assert clone.includes(state)
+
+    def test_join_all_matches_pairwise_fold(self):
+        a = AbstractState()
+        a.set("r1", AbstractValue.const(1))
+        a.set("r2", AbstractValue.const(7))
+        b = AbstractState()
+        b.set("r1", AbstractValue.const(5))
+        c = AbstractState()
+        c.set("r1", AbstractValue(Interval(-3, 0)))
+        batched = AbstractState.join_all([a, b, c])
+        pairwise = a.join(b).join(c)
+        # AbstractState has no __eq__; mutual inclusion is lattice equality.
+        assert batched.includes(pairwise) and pairwise.includes(batched)
+        assert batched.get("r1") == pairwise.get("r1")
+        assert batched.get("r2") == pairwise.get("r2")
+
+    def test_join_all_of_nothing_is_unreachable(self):
+        assert not AbstractState.join_all([]).reachable
+        unreachable = AbstractState.unreachable()
+        assert not AbstractState.join_all([unreachable]).reachable
+
+
+def _dense_heavy_lp():
+    """An LP whose equality rows exceed the densification threshold.
+
+    48 variables, three full-width equality constraints and per-variable
+    upper bounds: the equality rows carry ~49 of ~99 columns, so the fused
+    tableau promotes them to dense lists on the first pivot that updates
+    them, while the reference tableau keeps every row sparse.
+    """
+    n = 48
+    objective = [1.0 + (i % 5) * 0.25 for i in range(n)]
+    a_ub = [{i: 1.0} for i in range(n)]
+    b_ub = [3.0] * n
+    a_eq = [
+        {i: 1.0 for i in range(n)},
+        {i: (1.0 if i % 2 == 0 else 2.0) for i in range(n)},
+        {i: float(1 + (i % 3)) for i in range(n)},
+    ]
+    b_eq = [float(n), float(n + n // 2), float(sum(1 + (i % 3) for i in range(n)))]
+    return objective, a_ub, b_ub, a_eq, b_eq
+
+
+class TestDenseTableau:
+    def _trace(self, monkeypatch, engine):
+        """Solve the dense-heavy LP recording every (row, col) pivot."""
+        trace = []
+        original = simplex._pivot
+
+        def recording(rows, rhs, basis, col_rows, row, col, *args, **kwargs):
+            trace.append((row, col))
+            return original(rows, rhs, basis, col_rows, row, col, *args, **kwargs)
+
+        monkeypatch.setattr(simplex, "_pivot", recording)
+        objective, a_ub, b_ub, a_eq, b_eq = _dense_heavy_lp()
+        result = simplex.solve_sparse_lp(
+            objective, a_ub, b_ub, a_eq, b_eq, maximise=True, engine=engine
+        )
+        return trace, result
+
+    def test_pivot_sequences_identical(self, monkeypatch):
+        with monkeypatch.context() as patch:
+            fused_trace, fused = self._trace(patch, "fused")
+        with monkeypatch.context() as patch:
+            reference_trace, reference = self._trace(patch, "reference")
+        assert fused_trace == reference_trace
+        assert fused.status == reference.status == "optimal"
+        assert fused.objective == reference.objective
+        assert fused.values == reference.values
+        assert fused.pivots == reference.pivots > 0
+
+    def test_fused_engine_actually_densifies(self):
+        objective, a_ub, b_ub, a_eq, b_eq = _dense_heavy_lp()
+        prepared = simplex.prepare_sparse_tableau(
+            len(objective), a_ub, b_ub, a_eq, b_eq, engine="fused"
+        )
+        assert prepared.dense_rows, "expected dense-row promotion on this LP"
+        assert any(type(row) is list for row in prepared.rows)
+        reference = simplex.prepare_sparse_tableau(
+            len(objective), a_ub, b_ub, a_eq, b_eq, engine="reference"
+        )
+        assert reference.dense_rows is None
+        assert all(type(row) is dict for row in reference.rows)
+
+    def test_prepared_tableau_reuse_counts_phase1_once(self):
+        objective, a_ub, b_ub, a_eq, b_eq = _dense_heavy_lp()
+        prepared = simplex.prepare_sparse_tableau(
+            len(objective), a_ub, b_ub, a_eq, b_eq, engine="fused"
+        )
+        assert prepared.pivots > 0
+        maxi = simplex.optimise_prepared(prepared, objective, maximise=True)
+        mini = simplex.optimise_prepared(prepared, objective, maximise=False)
+        assert maxi.status == mini.status == "optimal"
+        # Phase-2 counters exclude the shared phase-1 work.
+        assert maxi.pivots >= 0 and mini.pivots >= 0
+        single = simplex.solve_sparse_lp(
+            objective, a_ub, b_ub, a_eq, b_eq, maximise=True, engine="fused"
+        )
+        assert single.pivots == prepared.pivots + maxi.pivots
+        assert single.objective == maxi.objective
