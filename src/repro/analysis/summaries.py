@@ -214,13 +214,18 @@ class SummaryCache:
 
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
-        return {
+        stats = {
             "tier1_hits": self.tier1_hits,
             "tier1_misses": self.tier1_misses,
             "tier2_hits": self.tier2_hits,
             "tier2_misses": self.tier2_misses,
             "puts": self.puts,
         }
+        if self.store is not None and getattr(self.store, "corruptions", 0):
+            # Quarantined bucket files — flows through the per-job stat
+            # deltas into the server's /healthz cache block.
+            stats["store_corruptions"] = self.store.corruptions
+        return stats
 
     def __len__(self) -> int:
         return len(self._memory)

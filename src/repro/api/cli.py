@@ -322,6 +322,8 @@ def cmd_fuzz(args) -> int:
     if args.output and not args.json:
         print("error: fuzz --output requires --json", file=sys.stderr)
         return EXIT_USAGE
+    if args.chaos:
+        return _cmd_fuzz_chaos(args)
     _say(
         args,
         f"fuzz: {args.programs} programs from seed {args.base_seed}, "
@@ -367,6 +369,57 @@ def cmd_fuzz(args) -> int:
         )
     if args.json:
         _emit(args, summary.to_json(), "")
+    return EXIT_OK if summary.ok else EXIT_FAILURE
+
+
+def _cmd_fuzz_chaos(args) -> int:
+    """``repro fuzz --chaos``: the seeded fault-injection sweep."""
+    from repro.testing.fuzz import run_chaos
+
+    if args.jobs < 2:
+        print(
+            "error: --chaos needs --jobs >= 2 (kill/hang injection requires "
+            "the supervised worker pool)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    _say(
+        args,
+        f"chaos: {args.chaos_jobs} jobs from seed {args.base_seed} against "
+        f"{args.jobs} supervised worker(s) (kill {args.kill_rate:.0%}, "
+        f"hang {args.hang_rate:.0%}, drop {args.drop_rate:.0%}, "
+        f"queue bound {args.max_queue}, deadline {args.job_timeout:.0f}s)",
+    )
+    summary = run_chaos(
+        jobs_total=args.chaos_jobs,
+        workers=args.jobs,
+        seed=args.base_seed,
+        kill_rate=args.kill_rate,
+        hang_rate=args.hang_rate,
+        job_timeout=args.job_timeout,
+        max_queue=args.max_queue,
+        drop_rate=args.drop_rate,
+        progress=lambda message: _say(args, f"  {message}"),
+    )
+    _say(
+        args,
+        f"chaos summary: {summary.injected_total} injected fault(s) — "
+        + ", ".join(f"{k}={v}" for k, v in sorted(summary.injected.items())),
+    )
+    for violation in summary.violations:
+        _say(args, f"  VIOLATION {violation}")
+    if args.min_faults and summary.injected_total < args.min_faults:
+        # An under-target run means the knobs injected too little chaos to
+        # mean anything — fail loudly rather than green-wash.
+        print(
+            f"error: only {summary.injected_total} faults injected "
+            f"(--min-faults {args.min_faults}); raise the rates or job count",
+            file=sys.stderr,
+        )
+        return EXIT_FAILURE
+    if args.json:
+        _emit(args, summary.to_json(), "")
+    _say(args, f"chaos: {'ok' if summary.ok else 'FAILED'}")
     return EXIT_OK if summary.ok else EXIT_FAILURE
 
 
@@ -473,6 +526,7 @@ def cmd_serve(args) -> int:
     import threading
 
     from repro.server.http import AnalysisServer
+    from repro.server.workers import DEFAULT_JOB_TIMEOUT
 
     try:
         server = AnalysisServer(
@@ -481,9 +535,18 @@ def cmd_serve(args) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             verbose=args.verbose,
+            max_queue=args.max_queue,
+            job_timeout=(
+                args.job_timeout
+                if args.job_timeout is not None
+                else DEFAULT_JOB_TIMEOUT
+            ),
         )
     except OSError as exc:  # port in use, unbindable host, ...
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:  # bad --max-queue and friends
+        print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
     stop = threading.Event()
@@ -659,6 +722,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--json", action="store_true", help="JSON summary on stdout")
     fuzz.add_argument("--output", default=None, help="write output to this file")
+    fuzz.add_argument(
+        "--chaos", action="store_true",
+        help="run the fault-injection sweep instead: seeded worker kills, "
+        "deadline hangs, store corruption and dropped HTTP responses "
+        "against a live server (docs/server.md, \"Fault tolerance\")",
+    )
+    fuzz.add_argument(
+        "--chaos-jobs", type=int, default=30,
+        help="distinct analysis jobs the chaos sweep submits",
+    )
+    fuzz.add_argument(
+        "--kill-rate", type=float, default=0.3,
+        help="chaos: probability a job's first attempt kills its worker",
+    )
+    fuzz.add_argument(
+        "--hang-rate", type=float, default=0.2,
+        help="chaos: probability a job's first attempt hangs past its deadline",
+    )
+    fuzz.add_argument(
+        "--drop-rate", type=float, default=0.25,
+        help="chaos: probability the proxy drops an HTTP response",
+    )
+    fuzz.add_argument(
+        "--job-timeout", type=float, default=10.0,
+        help="chaos: per-job wall-clock deadline (seconds)",
+    )
+    fuzz.add_argument(
+        "--max-queue", type=int, default=4,
+        help="chaos: per-lane admission-control bound on queued executions",
+    )
+    fuzz.add_argument(
+        "--min-faults", type=int, default=0,
+        help="chaos: fail unless at least this many faults were injected "
+        "(guards CI against a silently-tame run)",
+    )
     fuzz.set_defaults(func=cmd_fuzz)
 
     # bench ------------------------------------------------------------- #
@@ -734,6 +832,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-dir", default=None,
         help="persistent function-summary store shared by all workers",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=None,
+        help="admission control: max queued executions per lane; over-limit "
+        "submissions get 429 with a Retry-After hint (default: unbounded)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="default per-job wall-clock deadline in seconds; clients can "
+        "tighten it per submission (default 300; enforced with --jobs >= 2)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"

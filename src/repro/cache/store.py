@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -60,6 +61,8 @@ class SummaryStore:
         #: I/O statistics (reads = bucket files loaded, writes = files written).
         self.file_reads = 0
         self.file_writes = 0
+        #: Corrupt bucket files detected (and quarantined) by this instance.
+        self.corruptions = 0
 
     # ------------------------------------------------------------------ #
     def _bucket_path(self, bucket: str) -> str:
@@ -86,12 +89,44 @@ class SummaryStore:
             with open(self._bucket_path(bucket), "rb") as handle:
                 self.file_reads += 1
                 loaded = pickle.load(handle)
-                return loaded if isinstance(loaded, dict) else {}
+                if not isinstance(loaded, dict):
+                    self._quarantine(bucket)
+                    return {}
+                return loaded
         except FileNotFoundError:
             return {}
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            # A torn or stale cache file is a miss, never an error.
+        except OSError:
+            # A transient I/O failure is a miss — the file itself may be
+            # fine, so it must not be quarantined.
             return {}
+        except Exception:  # noqa: BLE001 - any unpickling failure whatsoever
+            # A corrupt bucket is quarantined (renamed aside) instead of
+            # being silently re-parsed — and re-failing — on every read.
+            # Unpickling executes arbitrary reduce hooks, so the failure set
+            # is open-ended (UnpicklingError, EOFError, AttributeError,
+            # ImportError, MemoryError on absurd lengths, ...).
+            self._quarantine(bucket)
+            return {}
+
+    def _quarantine(self, bucket: str) -> None:
+        """Move a corrupt bucket file aside as ``<bucket>.corrupt-<ts>``.
+
+        The quarantine name drops the ``.pkl`` suffix, so the file no longer
+        counts as a bucket (``__len__``) and can never be read again; the
+        next flush simply recreates the bucket from scratch.  A lost rename
+        race (another process quarantined it first) is fine — the file is
+        gone either way.
+        """
+        self.corruptions += 1
+        stamp = int(time.time() * 1000)
+        try:
+            os.replace(
+                self._bucket_path(bucket),
+                os.path.join(self.path, f"{bucket}.corrupt-{stamp}"),
+            )
+        except OSError:
+            pass
+        self._sigs[bucket] = self._file_sig(bucket)
 
     @contextmanager
     def _bucket_lock(self, bucket: str) -> Iterator[None]:

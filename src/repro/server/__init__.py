@@ -10,10 +10,10 @@ service:
   priority lanes (``interactive`` > ``batch``) and content-addressed request
   dedup — identical requests against the same project digest share one
   execution, and every subscriber receives the result;
-* :mod:`repro.server.workers` — :class:`WorkerPool`: warm
-  :class:`~repro.api.service.AnalysisService` instances per worker process,
-  one shared on-disk :class:`~repro.cache.store.SummaryStore`, the
-  :func:`~repro.wcet.batch.analyze_batch` pool plumbing underneath;
+* :mod:`repro.server.workers` — :class:`WorkerPool`: supervised worker
+  processes (per-job deadlines, crash detection, kill/respawn, bounded
+  retry) keeping warm :class:`~repro.api.service.AnalysisService` instances,
+  one shared on-disk :class:`~repro.cache.store.SummaryStore` underneath;
 * :mod:`repro.server.http` — :class:`AnalysisServer`: the stdlib HTTP/JSON
   listener (submit/status/result/cancel, streaming progress events,
   ``/healthz`` stats);
@@ -39,7 +39,7 @@ from repro.server.client import (
     ServerClient,
 )
 from repro.server.http import DEFAULT_PORT, AnalysisServer
-from repro.server.queue import JobQueue, Scheduler, SchedulerClosed
+from repro.server.queue import JobQueue, QueueFull, Scheduler, SchedulerClosed
 from repro.server.wire import (
     LANES,
     ProjectSpec,
@@ -52,16 +52,18 @@ from repro.server.wire import (
     WireError,
     request_digest,
 )
-from repro.server.workers import WorkerPool
+from repro.server.workers import DEFAULT_JOB_TIMEOUT, WorkerPool
 
 __all__ = [
     "AnalysisServer",
     "ClientError",
+    "DEFAULT_JOB_TIMEOUT",
     "DEFAULT_PORT",
     "JobCancelled",
     "JobFailed",
     "JobQueue",
     "LANES",
+    "QueueFull",
     "ProjectSpec",
     "RemoteError",
     "RemoteJob",

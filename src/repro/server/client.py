@@ -25,7 +25,9 @@ Quick start::
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -53,10 +55,15 @@ class ClientError(ReproError):
 class RemoteError(ReproError):
     """The server answered with a :class:`~repro.server.wire.ServerError`."""
 
-    def __init__(self, status: int, error: ServerError):
+    def __init__(
+        self, status: int, error: ServerError, retry_after: Optional[float] = None
+    ):
         super().__init__(f"[HTTP {status}] {error.error}: {error.message}")
         self.status = status
         self.error = error
+        #: Backpressure hint: seconds to wait before retrying (from the
+        #: Retry-After header and/or the error envelope, on 429/503).
+        self.retry_after = retry_after if retry_after is not None else error.retry_after
 
 
 class JobFailed(RemoteError):
@@ -72,6 +79,17 @@ class JobCancelled(RemoteError):
 
 
 _RESULT_ERRORS = {409: ResultNotReady, 410: JobCancelled, 500: JobFailed}
+
+
+def _retry_after_header(exc: urllib.error.HTTPError) -> Optional[float]:
+    """Parse a Retry-After header (delta-seconds form only) off a reply."""
+    value = exc.headers.get("Retry-After") if exc.headers else None
+    if value is None:
+        return None
+    try:
+        return max(float(value), 0.0)
+    except (TypeError, ValueError):
+        return None
 
 
 class RemoteJob:
@@ -146,29 +164,67 @@ class ServerClient:
             except Exception:  # noqa: BLE001 - non-envelope error body
                 error = ServerError(error="HTTPError", message=raw.decode(errors="replace"))
             cls = _RESULT_ERRORS.get(exc.code, RemoteError) if result_endpoint else RemoteError
-            raise cls(exc.code, error) from None
+            raise cls(exc.code, error, retry_after=_retry_after_header(exc)) from None
         except urllib.error.URLError as exc:
             raise ClientError(f"cannot reach analysis server at {self.url}: {exc.reason}") from None
         except (json.JSONDecodeError, ValueError) as exc:
             raise ClientError(f"malformed reply from {self.url}: {exc}") from None
+        except (http.client.HTTPException, TimeoutError, OSError) as exc:
+            # urllib only wraps errors from *sending* the request; a torn or
+            # stalled connection while reading the response (flaky network,
+            # a proxy eating the reply) surfaces raw — normalise it.
+            raise ClientError(
+                f"transport failure talking to {self.url}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from None
 
     # ------------------------------------------------------------------ #
     # Protocol surface
     # ------------------------------------------------------------------ #
+    #: How many times ``submit`` retries a 429 (admission-control) rejection
+    #: before surfacing it, and the cap on how long one Retry-After hint can
+    #: make it sleep.
+    SUBMIT_RETRIES = 4
+    RETRY_AFTER_CAP = 30.0
+
     def submit(
         self,
         spec: ProjectSpec,
         request: Optional[AnalysisRequest] = None,
         lane: str = "interactive",
+        job_timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> RemoteJob:
+        """Submit one analysis; honors admission-control backpressure.
+
+        A 429 rejection is retried up to ``retries`` times (default
+        :attr:`SUBMIT_RETRIES`; pass 0 to surface the first rejection),
+        sleeping the server's Retry-After hint — capped at
+        :attr:`RETRY_AFTER_CAP` and jittered so synchronized clients don't
+        re-stampede the queue on the same tick.
+        """
         submit = ServerSubmit(
-            project=spec, request=request or AnalysisRequest(), lane=lane
+            project=spec,
+            request=request or AnalysisRequest(),
+            lane=lane,
+            timeout=job_timeout,
         )
-        reply = serialize.from_json(
-            self._call("POST", "/v1/jobs", serialize.to_json(submit)),
-            ServerSubmitReply,
-        )
-        return RemoteJob(self, reply)
+        payload = serialize.to_json(submit)
+        budget = self.SUBMIT_RETRIES if retries is None else retries
+        attempt = 0
+        while True:
+            try:
+                reply = serialize.from_json(
+                    self._call("POST", "/v1/jobs", payload), ServerSubmitReply
+                )
+                return RemoteJob(self, reply)
+            except RemoteError as exc:
+                if exc.status != 429 or attempt >= budget:
+                    raise
+                hint = exc.retry_after if exc.retry_after is not None else 1.0
+                pause = min(hint, self.RETRY_AFTER_CAP)
+                time.sleep(pause * (0.5 + random.random() * 0.5))
+                attempt += 1
 
     def status(self, job_id: str) -> ServerJobStatus:
         return serialize.from_json(
@@ -221,12 +277,15 @@ class ServerClient:
         a polling fallback); raises :class:`ClientError` on timeout.
 
         Stream hiccups (socket read timeout on a quiet stream, torn
-        connection, truncated line) fall back to polling with capped
-        exponential backoff; after :attr:`MAX_WAIT_FAILURES` consecutive
-        failures the last error is re-raised instead of spinning until the
-        deadline.  The deadline is checked *before* every blocking exchange,
-        so a wait can never overshoot the caller's timeout by a poll
-        interval.
+        connection, truncated line) fall back to polling with capped,
+        *jittered* exponential backoff — jitter decorrelates clients that
+        all lost the same server, so reconnects don't arrive as a thundering
+        herd.  A 429/503 reply carrying a Retry-After hint overrides the
+        backoff with the server's own estimate (capped the same way).  After
+        :attr:`MAX_WAIT_FAILURES` consecutive failures the last error is
+        re-raised instead of spinning until the deadline.  The deadline is
+        checked *before* every blocking exchange, so a wait can never
+        overshoot the caller's timeout by a poll interval.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         backoff = self.WAIT_BACKOFF_MIN
@@ -247,12 +306,16 @@ class ServerClient:
                         break
                 failures = 0
                 backoff = self.WAIT_BACKOFF_MIN
-            except (ClientError, RemoteError, OSError, ValueError):
+            except (ClientError, RemoteError, OSError, ValueError) as exc:
                 failures += 1
                 if failures >= self.MAX_WAIT_FAILURES:
                     raise
-                # Never sleep past the deadline.
-                pause = backoff
+                # The server's Retry-After hint (429/503) beats our blind
+                # backoff; both get jitter, and neither sleeps past the
+                # deadline.
+                hinted = getattr(exc, "retry_after", None)
+                pause = min(hinted, self.RETRY_AFTER_CAP) if hinted else backoff
+                pause *= 0.5 + random.random() * 0.5
                 if deadline is not None:
                     pause = min(pause, max(deadline - time.monotonic(), 0.0))
                 time.sleep(pause)
@@ -278,8 +341,13 @@ class ServerClient:
         request: Optional[AnalysisRequest] = None,
         lane: str = "interactive",
         timeout: Optional[float] = None,
+        job_timeout: Optional[float] = None,
     ) -> AnalysisResult:
         """Submit and block for the result — the remote twin of
-        :meth:`repro.api.service.AnalysisService.analyze`."""
-        job = self.submit(spec, request, lane=lane)
+        :meth:`repro.api.service.AnalysisService.analyze`.
+
+        ``timeout`` bounds how long *this client* waits; ``job_timeout`` is
+        the server-side per-attempt execution deadline.
+        """
+        job = self.submit(spec, request, lane=lane, job_timeout=job_timeout)
         return job.result(wait=True, timeout=timeout)

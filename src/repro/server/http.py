@@ -36,7 +36,7 @@ from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api import serialize
-from repro.server.queue import Scheduler, SchedulerClosed
+from repro.server.queue import QueueFull, Scheduler, SchedulerClosed
 from repro.server.wire import (
     TERMINAL_STATES,
     ServerError,
@@ -45,7 +45,7 @@ from repro.server.wire import (
     ServerSubmitReply,
     WireError,
 )
-from repro.server.workers import WorkerPool
+from repro.server.workers import DEFAULT_JOB_TIMEOUT, WorkerPool
 
 #: Default TCP port (0 = pick an ephemeral port; see ``AnalysisServer.url``).
 DEFAULT_PORT = 8472
@@ -68,24 +68,49 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.analysis.verbose:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
-    def _reply(self, status: int, payload: dict, *, close: bool = False) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: dict,
+        *,
+        close: bool = False,
+        headers: Optional[dict] = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if close:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
     def _error(
-        self, status: int, error: str, message: str, job_id: Optional[str] = None
+        self,
+        status: int,
+        error: str,
+        message: str,
+        job_id: Optional[str] = None,
+        retry_after: Optional[float] = None,
     ) -> None:
+        headers = None
+        if retry_after is not None:
+            # Retry-After must be integral per RFC 9110; round up so the
+            # client never comes back *before* the hinted drain time.
+            headers = {"Retry-After": str(max(1, int(retry_after + 0.999)))}
         self._reply(
             status,
             serialize.to_json(
-                ServerError(error=error, message=message, job_id=job_id)
+                ServerError(
+                    error=error,
+                    message=message,
+                    job_id=job_id,
+                    retry_after=retry_after,
+                )
             ),
+            headers=headers,
         )
 
     #: Upper bound on accepted request bodies; a Content-Length beyond this
@@ -202,7 +227,19 @@ class _Handler(BaseHTTPRequestHandler):
             return self._error(400, type(exc).__name__, str(exc))
         scheduler = self.server.analysis.scheduler
         try:
-            job = scheduler.submit(submit.project, submit.request, lane=submit.lane)
+            job = scheduler.submit(
+                submit.project,
+                submit.request,
+                lane=submit.lane,
+                timeout=submit.timeout,
+            )
+        except QueueFull as exc:
+            # Admission control: shed load with an explicit backpressure
+            # envelope instead of queueing unboundedly (and eventually
+            # hanging clients behind work the server cannot absorb).
+            return self._error(
+                429, "QueueFull", str(exc), retry_after=exc.retry_after
+            )
         except SchedulerClosed as exc:
             return self._error(503, "SchedulerClosed", str(exc))
         status = scheduler.status(job)
@@ -328,9 +365,13 @@ class AnalysisServer:
         jobs: Optional[int] = 1,
         cache_dir: Optional[str] = None,
         verbose: bool = False,
+        max_queue: Optional[int] = None,
+        job_timeout: float = DEFAULT_JOB_TIMEOUT,
     ):
-        self.scheduler = Scheduler()
-        self.pool = WorkerPool(self.scheduler, jobs=jobs, cache_dir=cache_dir)
+        self.scheduler = Scheduler(max_queue=max_queue)
+        self.pool = WorkerPool(
+            self.scheduler, jobs=jobs, cache_dir=cache_dir, job_timeout=job_timeout
+        )
         self.verbose = verbose
         self.closing = False
         self._httpd = _HTTPServer((host, port), _Handler)
@@ -399,4 +440,6 @@ class AnalysisServer:
                 phase: round(seconds, 6)
                 for phase, seconds in scheduler.phase_seconds.items()
             },
+            faults=dict(scheduler.faults),
+            queue_limit=scheduler.max_queue,
         )

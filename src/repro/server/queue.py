@@ -83,10 +83,34 @@ class Execution:
     finished: float = 0.0
     seconds: float = 0.0
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-attempt wall-clock deadline in seconds (``None`` = the worker
+    #: pool's default).  Dedup joins can only *tighten* this.
+    timeout: Optional[float] = None
+    #: Completed execution attempts (retries after infrastructure faults).
+    attempts: int = 0
 
 
 class SchedulerClosed(Exception):
     """Raised by :meth:`Scheduler.submit` after :meth:`Scheduler.close`."""
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`Scheduler.submit` when the lane is at capacity.
+
+    Carries the backpressure hint the HTTP layer turns into a 429 reply with
+    a ``Retry-After`` header — over-limit submissions are *rejected*, never
+    silently queued or hung.
+    """
+
+    def __init__(self, lane: str, depth: int, limit: int, retry_after: float):
+        super().__init__(
+            f"lane {lane!r} is at capacity ({depth} queued, limit {limit}); "
+            f"retry in ~{retry_after:.0f}s"
+        )
+        self.lane = lane
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
 
 
 class JobQueue:
@@ -143,7 +167,9 @@ class JobQueue:
 class Scheduler:
     """Thread-safe façade over the queue: submit/pop/complete/cancel/stats."""
 
-    def __init__(self):
+    def __init__(self, max_queue: Optional[int] = None):
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         # Re-entrant: event streamers hold the lock through the ``events``
         # condition while calling back into ``job_events``.
         self._lock = threading.RLock()
@@ -158,18 +184,34 @@ class Scheduler:
         self._exec_seq = itertools.count(1)
         self._closed = False
         self.started_at = time.time()
+        #: Admission control: max queued executions per lane (``None`` =
+        #: unbounded).  Dedup joins never count against the bound — they add
+        #: no work.
+        self.max_queue = max_queue
+        #: Set by the worker pool; sizes the Retry-After backpressure hint.
+        self.workers = 1
         # Lifetime counters / aggregates (reported by /healthz).
         self.submitted = 0
         self.dedup_hits = 0
         self.executed = 0
         self.cache_stats: Dict[str, int] = {}
         self.phase_seconds: Dict[str, float] = {}
+        #: Infrastructure-fault counters (worker_restarts, job_timeouts,
+        #: job_retries, rejections) — surfaced via /healthz.
+        self.faults: Dict[str, int] = {}
+        # Exponential moving average of execution wall-clock seconds; feeds
+        # the Retry-After hint on 429 rejections.
+        self._ema_seconds = 0.0
 
     # ------------------------------------------------------------------ #
     # Submission and dedup
     # ------------------------------------------------------------------ #
     def submit(
-        self, spec: ProjectSpec, request: AnalysisRequest, lane: str = "interactive"
+        self,
+        spec: ProjectSpec,
+        request: AnalysisRequest,
+        lane: str = "interactive",
+        timeout: Optional[float] = None,
     ) -> Job:
         if lane not in LANES:
             # Validate BEFORE touching any state: failing later (e.g. on the
@@ -180,9 +222,17 @@ class Scheduler:
         with self._lock:
             if self._closed:
                 raise SchedulerClosed("scheduler is shut down")
-            self.submitted += 1
             execution = self._active.get(key)
             deduped = execution is not None
+            if execution is None and self.max_queue is not None:
+                # Admission control applies only to *new* executions: a dedup
+                # join subscribes to work already admitted, so rejecting it
+                # would add latency without shedding any load.
+                depth = self._queue.depth().get(lane, 0)
+                if depth >= self.max_queue:
+                    self.faults["rejections"] = self.faults.get("rejections", 0) + 1
+                    raise QueueFull(lane, depth, self.max_queue, self._retry_after_hint(depth))
+            self.submitted += 1
             if execution is None:
                 execution = Execution(
                     key=key,
@@ -190,12 +240,19 @@ class Scheduler:
                     request=request,
                     lane=lane,
                     seq=next(self._exec_seq),
+                    timeout=timeout,
                 )
                 self._active[key] = execution
                 self._queue.push(execution)
                 self._work.notify()
             else:
                 self.dedup_hits += 1
+                if timeout is not None and execution.state == "queued":
+                    # The tightest subscriber deadline wins; a join can only
+                    # tighten it (loosening would break the earlier caller's
+                    # expectation).
+                    if execution.timeout is None or timeout < execution.timeout:
+                        execution.timeout = timeout
                 if (
                     execution.state == "queued"
                     and LANES.index(lane) < LANES.index(execution.lane)
@@ -253,10 +310,21 @@ class Scheduler:
     ) -> None:
         """Record the outcome and fan it out to every subscribed job."""
         with self._lock:
+            if execution.state in TERMINAL_STATES:
+                # A late outcome for an execution the supervisor already
+                # resolved (e.g. a timed-out attempt whose result straggles
+                # in) must not double-complete or resurrect the job.
+                return
             execution.finished = time.time()
             execution.seconds = seconds
             execution.cache_stats = dict(cache_stats or {})
             self.executed += 1
+            if seconds > 0:
+                self._ema_seconds = (
+                    seconds
+                    if self._ema_seconds == 0.0
+                    else 0.3 * seconds + 0.7 * self._ema_seconds
+                )
             merge_stats(self.cache_stats, execution.cache_stats)
             if result is not None:
                 execution.state = "done"
@@ -283,6 +351,32 @@ class Scheduler:
                     if not job.cancelled:
                         self._emit(job, "failed", detail=execution.error.message)
             self._active.pop(execution.key, None)
+
+    # ------------------------------------------------------------------ #
+    # Fault accounting (worker supervisor + admission control)
+    # ------------------------------------------------------------------ #
+    def count_fault(self, name: str, n: int = 1) -> None:
+        """Bump an infrastructure-fault counter (shows up in /healthz)."""
+        with self._lock:
+            self.faults[name] = self.faults.get(name, 0) + n
+
+    def note_retry(self, execution: Execution, detail: str) -> None:
+        """Emit a non-terminal ``retrying`` event to every live subscriber."""
+        with self._lock:
+            if execution.state in TERMINAL_STATES:
+                return
+            execution.attempts += 1
+            for job in execution.jobs:
+                if not job.cancelled:
+                    self._emit(job, "retrying", detail=detail)
+
+    def _retry_after_hint(self, depth: int) -> float:
+        # Rough drain-time estimate: queued executions over available
+        # workers, paced by the recent average execution time.  Clamped so a
+        # cold server (no EMA yet) still gives a sane hint and a deep queue
+        # never tells clients to wait for hours.
+        per_job = self._ema_seconds or 1.0
+        return min(max(depth * per_job / max(self.workers, 1), 1.0), 120.0)
 
     # ------------------------------------------------------------------ #
     # Client side

@@ -71,6 +71,18 @@ def _require_bool(value: Any, name: str) -> None:
         raise WireError(f"{name} must be a boolean, got {type(value).__name__}")
 
 
+def _require_positive_number(value: Any, name: str) -> None:
+    """Reject non-numeric / non-positive deadline values (``None`` allowed)."""
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(
+            f"{name} must be a number or null, got {type(value).__name__}"
+        )
+    if not value > 0:
+        raise WireError(f"{name} must be positive, got {value!r}")
+
+
 # --------------------------------------------------------------------------- #
 # ProjectSpec
 # --------------------------------------------------------------------------- #
@@ -257,6 +269,10 @@ class ServerSubmit:
     project: ProjectSpec
     request: AnalysisRequest = field(default_factory=AnalysisRequest)
     lane: str = "interactive"
+    #: Per-job wall-clock deadline in seconds (``None`` = the server's
+    #: default, ``--job-timeout``).  When identical submissions share one
+    #: execution, the tightest subscriber deadline wins.
+    timeout: Optional[float] = None
 
     def validate(self) -> None:
         if not isinstance(self.project, ProjectSpec):
@@ -273,6 +289,7 @@ class ServerSubmit:
         _require_str(request.label, "AnalysisRequest.label")
         _require_bool(request.all_modes, "AnalysisRequest.all_modes")
         _require_bool(request.check_guidelines, "AnalysisRequest.check_guidelines")
+        _require_positive_number(self.timeout, "ServerSubmit.timeout")
         if self.lane not in LANES:
             raise WireError(f"unknown lane {self.lane!r}; available: {LANES}")
 
@@ -284,6 +301,7 @@ def _dump_server_submit(submit: ServerSubmit) -> Dict[str, Any]:
             "project": _dump_project_spec(submit.project),
             "request": _dump_analysis_request(submit.request),
             "lane": submit.lane,
+            "timeout": submit.timeout,
         },
     )
 
@@ -293,6 +311,8 @@ def _load_server_submit(data: Dict[str, Any]) -> ServerSubmit:
         project=serialize.from_json(data["project"], ProjectSpec),
         request=serialize.from_json(data["request"], AnalysisRequest),
         lane=data["lane"],
+        # Absent in pre-fault-tolerance envelopes: default, don't reject.
+        timeout=data.get("timeout"),
     )
 
 
@@ -334,6 +354,9 @@ class ServerError:
     error: str
     message: str
     job_id: Optional[str] = None
+    #: Backpressure hint in seconds (mirrors the ``Retry-After`` header on
+    #: 429 replies); ``None`` everywhere else.
+    retry_after: Optional[float] = None
 
 
 def _dump_server_error(error: ServerError) -> Dict[str, Any]:
@@ -342,7 +365,11 @@ def _dump_server_error(error: ServerError) -> Dict[str, Any]:
 
 def _load_server_error(data: Dict[str, Any]) -> ServerError:
     return ServerError(
-        error=data["error"], message=data["message"], job_id=data["job_id"]
+        error=data["error"],
+        message=data["message"],
+        job_id=data["job_id"],
+        # Absent in pre-fault-tolerance envelopes: default, don't reject.
+        retry_after=data.get("retry_after"),
     )
 
 
@@ -454,6 +481,12 @@ class ServerStats:
     cache: Dict[str, int] = field(default_factory=dict)
     #: Analysis-phase wall-clock totals aggregated over finished executions.
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Infrastructure-fault counters: ``worker_restarts``, ``job_timeouts``,
+    #: ``job_retries``, ``rejections`` (admission control).
+    faults: Dict[str, int] = field(default_factory=dict)
+    #: Admission-control bound on queued executions per lane (``None`` =
+    #: unbounded).
+    queue_limit: Optional[int] = None
 
 
 def _dump_server_stats(stats: ServerStats) -> Dict[str, Any]:
@@ -469,6 +502,8 @@ def _dump_server_stats(stats: ServerStats) -> Dict[str, Any]:
             "executed": stats.executed,
             "cache": dict(stats.cache),
             "phase_seconds": dict(stats.phase_seconds),
+            "faults": dict(stats.faults),
+            "queue_limit": stats.queue_limit,
         },
     )
 
@@ -484,6 +519,9 @@ def _load_server_stats(data: Dict[str, Any]) -> ServerStats:
         executed=data["executed"],
         cache=dict(data["cache"]),
         phase_seconds=dict(data["phase_seconds"]),
+        # Absent in pre-fault-tolerance envelopes: default, don't reject.
+        faults=dict(data.get("faults", {})),
+        queue_limit=data.get("queue_limit"),
     )
 
 

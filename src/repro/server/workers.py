@@ -1,14 +1,23 @@
-"""The server's worker pool: warm services per worker, one shared store.
+"""The server's worker pool: supervised workers, warm services, one store.
 
 Two execution modes behind one interface:
 
 * ``jobs <= 1`` — *inline*: one dispatcher thread executes analyses in the
   server process, keeping warm :class:`~repro.api.service.AnalysisService`
-  instances (built program + in-process summary cache) across requests;
-* ``jobs > 1`` — *pool*: ``jobs`` worker *processes* (the same
-  :mod:`multiprocessing` plumbing :func:`repro.wcet.batch.analyze_batch`
-  uses, including its worker initialiser), each keeping its own warm-service
-  table and in-process cache tier, all sharing the server's on-disk
+  instances (built program + in-process summary cache) across requests.
+  Deadlines are advisory here (there is no process boundary to kill across)
+  and crash supervision does not apply — production deployments that need
+  fault isolation should run ``jobs >= 2``;
+* ``jobs > 1`` — *supervised pool*: each dispatcher thread owns one worker
+  *process* connected by a pipe.  The dispatcher enforces a per-job
+  wall-clock deadline (``Execution.timeout``, defaulting to the server's
+  ``--job-timeout``), detects worker death (EOF on the pipe) and hung jobs
+  (deadline expiry), kills and respawns the worker, and classifies the
+  failure: deterministic :class:`~repro.errors.ReproError`\\ s fail the job
+  immediately, infrastructure faults get a bounded retry with exponential
+  backoff before surfacing a typed ``ServerError`` (``WorkerCrashed`` /
+  ``JobTimeout``).  Every worker keeps its own warm-service table and
+  in-process cache tier; all share the server's on-disk
   :class:`~repro.cache.store.SummaryStore` (safe under the store's advisory
   file locking).
 
@@ -19,12 +28,14 @@ exactly — a served result is bit-identical to a direct facade call.
 
 from __future__ import annotations
 
-import multiprocessing.pool
+import multiprocessing
+import multiprocessing.connection
+import os
 import threading
 import time
 import traceback
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.summaries import SummaryCache
 from repro.api import serialize
@@ -37,6 +48,21 @@ from repro.wcet import batch
 
 #: Warm AnalysisService instances kept per worker (LRU-evicted beyond this).
 WARM_SERVICES_PER_WORKER = 8
+
+#: Server-default per-job wall-clock deadline (seconds); ``--job-timeout``.
+DEFAULT_JOB_TIMEOUT = 300.0
+
+#: Bounded-retry policy for infrastructure faults: a crashed worker is worth
+#: more attempts than a deadline hit (a crash is usually environmental — OOM
+#: kill, segfault — while a timeout often means the job itself is too slow).
+CRASH_RETRIES = 2
+TIMEOUT_RETRIES = 1
+
+#: Base of the exponential backoff between retry attempts (seconds).
+RETRY_BACKOFF = 0.1
+
+#: How long a graceful worker stop waits before escalating to SIGKILL.
+WORKER_STOP_GRACE = 5.0
 
 
 class _WarmServices:
@@ -68,12 +94,28 @@ class _WarmServices:
         return service
 
 
-def _serve(warm: _WarmServices, payload: Tuple[dict, dict]) -> tuple:
-    """Execute one wire-encoded (spec, request) pair; never raises."""
-    spec_json, request_json = payload
+def _maybe_inject_fault(payload: Tuple[dict, dict, int]) -> None:
+    """Chaos hook: fire an injected fault for this job, if a plan is armed.
+
+    The plan travels in the ``REPRO_FAULTS`` environment variable so forked
+    worker processes inherit it; the import is lazy so production servers
+    (no plan) never touch :mod:`repro.testing` and pay one ``os.environ``
+    lookup per job.
+    """
+    if not os.environ.get("REPRO_FAULTS"):
+        return
+    from repro.testing import faults
+
+    faults.on_job(payload)
+
+
+def _serve(warm: _WarmServices, payload: Tuple[dict, dict, int]) -> tuple:
+    """Execute one wire-encoded (spec, request, attempt) job; never raises."""
+    spec_json, request_json, _attempt = payload
     before = warm.cache.stats()
     started = time.perf_counter()
     try:
+        _maybe_inject_fault(payload)
         spec = serialize.from_json(spec_json, ProjectSpec)
         request = serialize.from_json(request_json, AnalysisRequest)
         result = warm.service(spec).analyze(request)
@@ -88,27 +130,144 @@ def _serve(warm: _WarmServices, payload: Tuple[dict, dict]) -> tuple:
     seconds = time.perf_counter() - started
     after = warm.cache.stats()
     delta = {key: after[key] - before.get(key, 0) for key in after}
-    warm.cache.flush()
+    try:
+        warm.cache.flush()
+    except Exception as exc:  # noqa: BLE001 - flush failure must not kill the job
+        # The result is already computed; a store hiccup (disk full, a
+        # quarantined bucket) only costs cache warmth, never the answer.
+        if error is None:
+            delta["flush_errors"] = delta.get("flush_errors", 0) + 1
     return result_json, error, delta, seconds
 
 
 # --------------------------------------------------------------------------- #
-# Process-pool side (module globals are per worker process)
+# Worker-process side
 # --------------------------------------------------------------------------- #
-_WORKER_WARM: Optional[_WarmServices] = None
+def _worker_main(
+    conn: "multiprocessing.connection.Connection", cache_dir: Optional[str]
+) -> None:
+    """Supervised worker main loop: recv payload -> serve -> send outcome.
 
+    A ``None`` payload is the graceful-stop sentinel.  Anything that escapes
+    here (it should not — ``_serve`` never raises) ends the process, which
+    the supervisor observes as a crash and handles.
+    """
+    if os.environ.get("REPRO_FAULTS"):
+        # Mark this process as a supervised worker so seeded kill/hang
+        # injectors fire here and never in the server (or a client) process.
+        from repro.testing import faults
 
-def _init_server_worker(cache_dir: Optional[str]) -> None:
+        faults.mark_worker()
     # Reuse the batch pool's initialiser so worker cache wiring has exactly
     # one implementation, then layer the warm-service table on top of it.
-    global _WORKER_WARM
     batch._init_batch_worker(cache_dir)
-    _WORKER_WARM = _WarmServices(batch._WORKER_CACHE)
+    warm = _WarmServices(batch._WORKER_CACHE)
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            return  # supervisor went away
+        if payload is None:
+            return
+        try:
+            conn.send(_serve(warm, payload))
+        except (BrokenPipeError, OSError):
+            return
 
 
-def _serve_in_worker(payload: Tuple[dict, dict]) -> tuple:
-    assert _WORKER_WARM is not None
-    return _serve(_WORKER_WARM, payload)
+class _SupervisedWorker:
+    """One worker process plus the pipe its dispatcher supervises it over.
+
+    The supervisor side never blocks without a deadline: ``run`` polls the
+    pipe with the job's remaining budget, treats EOF as worker death, and
+    kills/respawns on deadline expiry.  Respawn happens lazily in
+    :meth:`ensure` so a dying worker costs the *next* job a warm-up, not an
+    unbounded stall for the current one.
+    """
+
+    def __init__(self, index: int, cache_dir: Optional[str]):
+        self.index = index
+        self.cache_dir = cache_dir
+        self._process: Optional[multiprocessing.Process] = None
+        self._conn: Optional[multiprocessing.connection.Connection] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else None
+
+    def ensure(self) -> None:
+        """Start (or restart) the worker process if it is not alive."""
+        if self._process is not None and self._process.is_alive():
+            return
+        self._discard()
+        parent_conn, child_conn = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_worker_main,
+            args=(child_conn, self.cache_dir),
+            name=f"repro-server-worker-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        # Close our copy of the child end: EOF on ``parent_conn`` then means
+        # the worker process is gone, which is exactly the signal we poll for.
+        child_conn.close()
+        self._process = process
+        self._conn = parent_conn
+
+    def run(self, payload: tuple, timeout: float) -> Tuple[str, object]:
+        """Run one job; returns ``(status, value)``.
+
+        * ``("ok", outcome)`` — the worker answered within the deadline;
+        * ``("crashed", detail)`` — the worker process died mid-job;
+        * ``("timeout", detail)`` — deadline expired; the worker was killed.
+        """
+        assert self._conn is not None
+        try:
+            self._conn.send(payload)
+        except (BrokenPipeError, OSError) as exc:
+            self.kill()
+            return ("crashed", f"worker pipe closed on send: {exc}")
+        try:
+            if not self._conn.poll(timeout):
+                self.kill()
+                return (
+                    "timeout",
+                    f"job exceeded its {timeout:.1f}s deadline; worker killed",
+                )
+            outcome = self._conn.recv()
+        except (EOFError, OSError):
+            exitcode = self._process.exitcode if self._process is not None else None
+            self.kill()
+            return ("crashed", f"worker process died mid-job (exitcode={exitcode})")
+        return ("ok", outcome)
+
+    def kill(self) -> None:
+        """SIGKILL the worker and drop the pipe (respawn happens in ensure)."""
+        if self._process is not None and self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout=WORKER_STOP_GRACE)
+        self._discard()
+
+    def stop(self) -> None:
+        """Graceful stop: send the sentinel, then escalate to SIGKILL."""
+        if self._process is None:
+            return
+        try:
+            if self._conn is not None:
+                self._conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=WORKER_STOP_GRACE)
+        self.kill()
+
+    def _discard(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        self._conn = None
+        self._process = None
 
 
 # --------------------------------------------------------------------------- #
@@ -120,14 +279,22 @@ class WorkerPool:
         scheduler: Scheduler,
         jobs: Optional[int] = 1,
         cache_dir: Optional[str] = None,
+        job_timeout: float = DEFAULT_JOB_TIMEOUT,
+        crash_retries: int = CRASH_RETRIES,
+        timeout_retries: int = TIMEOUT_RETRIES,
     ):
         self.scheduler = scheduler
         self.jobs = batch.resolve_jobs(jobs)
         self.cache_dir = cache_dir
-        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self.job_timeout = job_timeout
+        self.crash_retries = crash_retries
+        self.timeout_retries = timeout_retries
+        self._workers: List[Optional[_SupervisedWorker]] = []
         self._threads: list = []
         self._inline_warm: Optional[_WarmServices] = None
         self._started = False
+        self._closing = False
+        scheduler.workers = max(self.jobs, 1)
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
@@ -135,72 +302,134 @@ class WorkerPool:
             return
         self._started = True
         if self.jobs > 1:
-            self._pool = multiprocessing.Pool(
-                processes=self.jobs,
-                initializer=_init_server_worker,
-                initargs=(self.cache_dir,),
-            )
+            self._workers = [
+                _SupervisedWorker(index, self.cache_dir) for index in range(self.jobs)
+            ]
         else:
             store = SummaryStore(self.cache_dir) if self.cache_dir else None
             self._inline_warm = _WarmServices(SummaryCache(store=store))
-        dispatchers = self.jobs if self.jobs > 1 else 1
-        for index in range(dispatchers):
+            self._workers = [None]
+        for index, worker in enumerate(self._workers):
             thread = threading.Thread(
-                target=self._dispatch_loop, name=f"repro-worker-{index}", daemon=True
+                target=self._dispatch_loop,
+                args=(worker,),
+                name=f"repro-worker-{index}",
+                daemon=True,
             )
             thread.start()
             self._threads.append(thread)
 
-    def _dispatch_loop(self) -> None:
+    def _dispatch_loop(self, worker: Optional[_SupervisedWorker]) -> None:
         while True:
             execution = self.scheduler.pop()
             if execution is None:
+                if worker is not None:
+                    worker.stop()
                 return
-            self._run(execution)
+            self._run(execution, worker)
 
-    def _run(self, execution: Execution) -> None:
-        payload = (
-            serialize.to_json(execution.spec),
-            serialize.to_json(execution.request),
-        )
-        try:
-            if self._pool is not None:
-                result_json, error, delta, seconds = self._pool.apply(
-                    _serve_in_worker, (payload,)
-                )
+    # ------------------------------------------------------------------ #
+    def _run(
+        self, execution: Execution, worker: Optional[_SupervisedWorker]
+    ) -> None:
+        timeout = execution.timeout if execution.timeout is not None else self.job_timeout
+        attempt = 0
+        while True:
+            payload = (
+                serialize.to_json(execution.spec),
+                serialize.to_json(execution.request),
+                attempt,
+            )
+            status, detail = self._attempt(payload, worker, timeout)
+            if status == "ok":
+                result_json, error, delta, seconds = detail
+                if result_json is not None:
+                    result: Optional[AnalysisResult] = serialize.from_json(result_json)
+                    self.scheduler.complete(
+                        execution, result=result, cache_stats=delta, seconds=seconds
+                    )
+                else:
+                    # Deterministic failure (ReproError or a bug in the
+                    # analysis itself): retrying would reproduce it exactly,
+                    # so the job fails now with the original error type.
+                    kind, message = error
+                    self.scheduler.complete(
+                        execution,
+                        error=ServerError(error=kind, message=message),
+                        cache_stats=delta,
+                        seconds=seconds,
+                    )
+                return
+            # Infrastructure fault: bounded retry with exponential backoff,
+            # unless the server is draining (shutdown must not be delayed by
+            # backoff sleeps for work that will be surfaced as failed anyway).
+            if status == "crashed":
+                self.scheduler.count_fault("worker_restarts")
+                budget = self.crash_retries
+                kind = "WorkerCrashed"
             else:
-                result_json, error, delta, seconds = _serve(self._inline_warm, payload)
-        except Exception as exc:  # pool torn down mid-flight, etc.
-            result_json, error, delta, seconds = (
-                None,
-                (type(exc).__name__, str(exc)),
-                {},
-                0.0,
-            )
-        if result_json is not None:
-            result: Optional[AnalysisResult] = serialize.from_json(result_json)
-            self.scheduler.complete(
-                execution, result=result, cache_stats=delta, seconds=seconds
-            )
-        else:
-            kind, message = error
+                self.scheduler.count_fault("job_timeouts")
+                budget = self.timeout_retries
+                kind = "JobTimeout"
+            if attempt < budget and not self._closing:
+                self.scheduler.count_fault("job_retries")
+                self.scheduler.note_retry(
+                    execution, detail=f"attempt {attempt + 1} failed: {detail}"
+                )
+                time.sleep(RETRY_BACKOFF * (2 ** attempt))
+                attempt += 1
+                continue
             self.scheduler.complete(
                 execution,
-                error=ServerError(error=kind, message=message),
-                cache_stats=delta,
-                seconds=seconds,
+                error=ServerError(
+                    error=kind,
+                    message=f"{detail} (after {attempt + 1} attempt(s))",
+                ),
             )
+            return
+
+    def _attempt(
+        self,
+        payload: tuple,
+        worker: Optional[_SupervisedWorker],
+        timeout: float,
+    ) -> Tuple[str, object]:
+        if worker is None:
+            # Inline mode: the dispatcher thread executes the job itself.
+            # ``_serve`` never raises, so there is nothing to supervise —
+            # deadlines are advisory and crashes take the server with them.
+            return ("ok", _serve(self._inline_warm, payload))
+        try:
+            worker.ensure()
+        except Exception as exc:  # spawn failure (fd/memory exhaustion)
+            return ("crashed", f"worker respawn failed: {exc}")
+        return worker.run(payload, timeout)
+
+    # ------------------------------------------------------------------ #
+    # Introspection (chaos harness + /healthz)
+    # ------------------------------------------------------------------ #
+    def alive_dispatchers(self) -> int:
+        return sum(1 for thread in self._threads if thread.is_alive())
+
+    def worker_pids(self) -> List[int]:
+        return [
+            worker.pid
+            for worker in self._workers
+            if worker is not None and worker.pid is not None
+        ]
 
     # ------------------------------------------------------------------ #
     def shutdown(self, wait: bool = True) -> None:
         """Stop dispatching (the scheduler must already be closed)."""
+        self._closing = True
         for thread in self._threads:
             if wait:
                 thread.join(timeout=30)
-        if self._pool is not None:
-            self._pool.close()
-            if wait:
-                self._pool.join()
-            self._pool = None
+        for worker in self._workers:
+            if worker is not None:
+                worker.stop()
         if self._inline_warm is not None:
-            self._inline_warm.cache.flush()
+            try:
+                self._inline_warm.cache.flush()
+            except Exception:  # noqa: BLE001 - drain must finish regardless
+                pass

@@ -29,7 +29,10 @@ from __future__ import annotations
 import copy
 import http.client
 import json
+import os
 import random
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -37,10 +40,12 @@ from urllib.parse import urlsplit
 
 from repro.api import serialize
 from repro.api.project import PROCESSORS
-from repro.api.service import AnalysisRequest
+from repro.api.service import AnalysisRequest, AnalysisService
+from repro.cache import SummaryStore
 from repro.server.client import ClientError, JobFailed, RemoteError, ServerClient
 from repro.server.http import AnalysisServer
 from repro.server.wire import ProjectSpec, ServerError, ServerSubmit
+from repro.testing import faults as fault_injection
 from repro.testing.corpus import annotations_to_text, save_case
 from repro.testing.generator import FeatureMix, generate_case, render_case
 from repro.testing.oracle import DifferentialOracle, OracleConfig
@@ -690,4 +695,380 @@ def run_wire_fuzz(
                     ),
                 )
             )
+    return summary
+
+
+# --------------------------------------------------------------------------- #
+# Chaos sweep: seeded infrastructure faults against a live server.
+# --------------------------------------------------------------------------- #
+@dataclass
+class ChaosSummary:
+    """Outcome of one chaos sweep (``repro fuzz --chaos``)."""
+
+    jobs: int
+    seed: int
+    workers: int
+    seconds: float = 0.0
+    #: Injected-fault census: worker kills, deadline hangs, admission-control
+    #: rejections, proxy drops/truncations, corrupted store buckets.
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: The server's own /healthz fault counters at the end of the sweep.
+    server_faults: Dict[str, int] = field(default_factory=dict)
+    violations: List[FuzzViolation] = field(default_factory=list)
+
+    @property
+    def injected_total(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_json(self) -> dict:
+        return {
+            "schema": 1,
+            "kind": "ChaosSummary",
+            "jobs": self.jobs,
+            "seed": self.seed,
+            "workers": self.workers,
+            "seconds": self.seconds,
+            "injected": dict(self.injected),
+            "injected_total": self.injected_total,
+            "server_faults": dict(self.server_faults),
+            "ok": self.ok,
+            "violations": [
+                {"kind": v.kind, "seed": v.seed, "detail": v.detail}
+                for v in self.violations
+            ],
+        }
+
+
+def run_chaos(
+    jobs_total: int = 30,
+    workers: int = 3,
+    seed: int = 1,
+    kill_rate: float = 0.3,
+    hang_rate: float = 0.2,
+    job_timeout: float = 10.0,
+    max_queue: int = 4,
+    drop_rate: float = 0.25,
+    truncate_rate: float = 0.1,
+    corrupt_buckets: int = 10,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosSummary:
+    """Drive the server through seeded infrastructure faults and check that
+    fault tolerance holds (docs/server.md, "Fault tolerance").
+
+    The sweep submits ``jobs_total`` distinct generated programs in a burst
+    against a server with ``workers`` supervised workers, a per-lane queue
+    bound of ``max_queue`` and a per-job deadline of ``job_timeout`` seconds,
+    while four seeded injectors fire: worker kills and past-deadline hangs
+    (first attempt only, so a retry deterministically succeeds), dropped or
+    truncated HTTP responses behind a :class:`~repro.testing.faults.
+    FlakyProxy`, and summary-store bucket corruption.
+
+    Invariants — each breach is a :class:`FuzzViolation`:
+
+    * every submitted job reaches a terminal state; none is lost to a rejected
+      or dropped submission (dedup makes resubmission idempotent);
+    * with the burst far over capacity, admission control visibly rejects
+      (429 envelopes) rather than queueing unboundedly;
+    * every completed result is bit-identical to a direct facade analysis of
+      the same program, and the flight-control canary still pins
+      ``FLIGHT_CONTROL_PINS`` afterwards;
+    * corrupt store buckets are quarantined, not re-read;
+    * no dispatcher thread is lost, and the server drains cleanly.
+    """
+    if workers < 2:
+        raise ValueError(
+            "chaos needs workers >= 2: kill/hang injection requires the "
+            "supervised process pool (inline mode runs in the server process)"
+        )
+    say = progress or (lambda message: None)
+    summary = ChaosSummary(jobs=jobs_total, seed=seed, workers=workers)
+    started = time.perf_counter()
+    cache_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    plan = fault_injection.FaultPlan(
+        seed=seed,
+        kill_rate=kill_rate,
+        hang_rate=hang_rate,
+        # Past the deadline with margin, but bounded: a hang must trip the
+        # supervisor, not stall the sweep if supervision were broken.
+        hang_seconds=job_timeout * 2,
+    )
+    fault_injection.install(plan)
+
+    def violate(kind: str, detail: str, seed_: Optional[int] = None) -> None:
+        summary.violations.append(
+            FuzzViolation(kind=kind, detail=detail, seed=seed_, preset="chaos")
+        )
+        say(f"VIOLATION [{kind}]: {detail}")
+
+    try:
+        with AnalysisServer(
+            port=0,
+            jobs=workers,
+            cache_dir=cache_dir,
+            max_queue=max_queue,
+            job_timeout=job_timeout,
+        ) as server:
+            with fault_injection.FlakyProxy(
+                server.host,
+                server.port,
+                seed=seed,
+                drop_rate=drop_rate,
+                truncate_rate=truncate_rate,
+            ) as proxy:
+                direct = ServerClient(server.url, timeout=30.0)
+                flaky = ServerClient(proxy.url, timeout=10.0)
+                cases = []
+                for index in range(jobs_total):
+                    case = generate_case(seed + index)
+                    rendered = render_case(case)
+                    cases.append(
+                        (
+                            seed + index,
+                            _case_spec(case, rendered, "simple"),
+                            AnalysisRequest(entry=case.entry),
+                        )
+                    )
+
+                # Phase 1 — burst: submit everything as fast as possible on
+                # one lane with 429-retries off, so admission control is
+                # actually observable.
+                handles: Dict[int, Optional[object]] = {}
+                rejected_429 = 0
+                for case_seed, spec, request in cases:
+                    try:
+                        handles[case_seed] = direct.submit(
+                            spec, request, lane="batch", retries=0
+                        )
+                    except RemoteError as exc:
+                        if exc.status != 429:
+                            violate(
+                                "server-error",
+                                f"burst submit failed with HTTP "
+                                f"{exc.status}: {exc}",
+                                case_seed,
+                            )
+                        else:
+                            rejected_429 += 1
+                            if exc.retry_after is None:
+                                violate(
+                                    "rejection",
+                                    "429 envelope is missing its "
+                                    "Retry-After hint",
+                                    case_seed,
+                                )
+                        handles[case_seed] = None
+                say(
+                    f"burst: {jobs_total - rejected_429} accepted, "
+                    f"{rejected_429} rejected with 429"
+                )
+                if rejected_429 == 0 and jobs_total >= 2 * (workers + max_queue):
+                    violate(
+                        "rejection",
+                        f"burst of {jobs_total} jobs against capacity "
+                        f"{workers}+{max_queue} produced zero 429 rejections "
+                        "— admission control is not shedding load",
+                    )
+
+                # Phase 2 — resubmit every rejected job through the flaky
+                # proxy: 429s honor the Retry-After hint, dropped/truncated
+                # responses just resubmit (dedup makes that idempotent).
+                for case_seed, spec, request in cases:
+                    if handles[case_seed] is not None:
+                        continue
+                    deadline = time.monotonic() + 180.0
+                    while handles[case_seed] is None:
+                        if time.monotonic() >= deadline:
+                            violate(
+                                "lost-job",
+                                "rejected job could not be resubmitted "
+                                "within 180s",
+                                case_seed,
+                            )
+                            break
+                        try:
+                            handles[case_seed] = flaky.submit(
+                                spec, request, lane="batch", retries=0
+                            )
+                        except RemoteError as exc:
+                            if exc.status == 429:
+                                pause = exc.retry_after or 1.0
+                                time.sleep(min(pause, 5.0))
+                            else:
+                                violate(
+                                    "server-error",
+                                    f"resubmit failed with HTTP "
+                                    f"{exc.status}: {exc}",
+                                    case_seed,
+                                )
+                                break
+                        except ClientError:
+                            # Proxy ate the response; the submission may or
+                            # may not have landed — resubmitting is safe
+                            # either way.
+                            time.sleep(0.2)
+
+                # Keep some read traffic flowing through the proxy so drops
+                # hit the status path too (failures here are the client's
+                # problem by design, never the server's).
+                for case_seed, _spec, _request in cases[:: max(jobs_total // 10, 1)]:
+                    handle = handles.get(case_seed)
+                    if handle is None:
+                        continue
+                    try:
+                        flaky.status(handle.id)
+                    except (ClientError, RemoteError):
+                        pass
+
+                # Phase 3 — wait for every job; with first-attempt-only
+                # injection every accepted job must come back *done*.
+                done = 0
+                for case_seed, spec, request in cases:
+                    handle = handles.get(case_seed)
+                    if handle is None:
+                        continue
+                    try:
+                        status = direct.wait(
+                            handle.id, timeout=REMOTE_JOB_TIMEOUT
+                        )
+                    except (ClientError, RemoteError) as exc:
+                        violate(
+                            "lost-job",
+                            f"job {handle.id} never reached a terminal "
+                            f"state: {exc}",
+                            case_seed,
+                        )
+                        continue
+                    if status.state != "done":
+                        violate(
+                            "lost-job",
+                            f"job {handle.id} ended {status.state!r} "
+                            f"({status.error.message if status.error else ''}) "
+                            "— injected faults are first-attempt-only, so "
+                            "the retry should have succeeded",
+                            case_seed,
+                        )
+                    else:
+                        done += 1
+                say(f"wait: {done}/{jobs_total} jobs done")
+
+                # Phase 4 — bit-identity: every surviving result must equal a
+                # direct facade analysis (this process never injects: the
+                # kill/hang hooks only fire in marked worker processes).
+                checked = 0
+                for case_seed, spec, request in cases:
+                    handle = handles.get(case_seed)
+                    if handle is None:
+                        continue
+                    try:
+                        remote = direct.result(handle.id)
+                    except (ClientError, RemoteError):
+                        continue  # already reported in phase 3
+                    project = spec.to_project(cache="off")
+                    project.build()
+                    local = AnalysisService(project).analyze(request)
+                    if report_identity(remote.report) != report_identity(
+                        local.report
+                    ):
+                        violate(
+                            "bit-mismatch",
+                            f"result under chaos differs from the direct "
+                            f"facade (wcet {remote.report.wcet_cycles} vs "
+                            f"{local.report.wcet_cycles})",
+                            case_seed,
+                        )
+                    checked += 1
+                say(f"identity: {checked} results checked against the facade")
+
+                # Phase 5 — store corruption: garble bucket files, then prove
+                # a fresh store quarantines every one instead of re-parsing.
+                buckets = sorted(
+                    name[: -len(".pkl")]
+                    for name in os.listdir(cache_dir)
+                    if name.endswith(".pkl")
+                )
+                fraction = (
+                    1.0
+                    if corrupt_buckets >= len(buckets)
+                    else corrupt_buckets / len(buckets)
+                ) if buckets else 0.0
+                corrupted = fault_injection.corrupt_store(
+                    cache_dir, seed=seed, fraction=fraction
+                ) if buckets else 0
+                probe = SummaryStore(cache_dir)
+                for bucket in buckets:
+                    probe.get(bucket, "chaos-probe")
+                if probe.corruptions != corrupted:
+                    violate(
+                        "quarantine",
+                        f"corrupted {corrupted} bucket(s) but the store "
+                        f"quarantined {probe.corruptions}",
+                    )
+                intact = sum(
+                    1
+                    for name in os.listdir(cache_dir)
+                    if name.endswith(".pkl")
+                )
+                if intact != len(buckets) - corrupted:
+                    violate(
+                        "quarantine",
+                        f"{len(buckets)} bucket(s), {corrupted} corrupted: "
+                        f"expected {len(buckets) - corrupted} intact files, "
+                        f"found {intact}",
+                    )
+                say(f"store: {corrupted} bucket(s) corrupted and quarantined")
+
+                # Phase 6 — the server must still be fully operational:
+                # every dispatcher alive, canary bounds pinned, fault
+                # counters visible in /healthz.
+                if server.pool.alive_dispatchers() != workers:
+                    violate(
+                        "dispatcher",
+                        f"only {server.pool.alive_dispatchers()} of "
+                        f"{workers} dispatcher threads survived the sweep",
+                    )
+                canary = _check_canary(direct, "interactive")
+                if canary is not None:
+                    summary.violations.append(canary)
+                    say(f"VIOLATION [canary]: {canary.detail}")
+                stats = direct.healthz()
+                summary.server_faults = dict(stats.faults)
+                for counter, rate in (
+                    ("worker_restarts", kill_rate),
+                    ("job_timeouts", hang_rate),
+                ):
+                    if rate > 0 and not stats.faults.get(counter):
+                        violate(
+                            "faults",
+                            f"injection ran with a nonzero rate but "
+                            f"/healthz reports no {counter}",
+                        )
+                summary.injected = {
+                    "worker_kills": stats.faults.get("worker_restarts", 0),
+                    "job_timeouts": stats.faults.get("job_timeouts", 0),
+                    "rejections": stats.faults.get("rejections", 0),
+                    "proxy_faults": proxy.faults,
+                    "store_corruptions": corrupted,
+                }
+
+        # The context exit above drained the server; a clean drain leaves no
+        # dispatcher thread running.
+        if server.pool.alive_dispatchers() != 0:
+            violate(
+                "dispatcher",
+                f"{server.pool.alive_dispatchers()} dispatcher(s) "
+                "still alive after drain",
+            )
+    finally:
+        fault_injection.clear()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    summary.seconds = time.perf_counter() - started
+    say(
+        f"chaos: {summary.injected_total} fault(s) injected, "
+        f"{len(summary.violations)} violation(s), {summary.seconds:.0f}s"
+    )
     return summary

@@ -1,0 +1,220 @@
+"""The chaos harness's fault injectors (repro.testing.faults).
+
+Everything here must be *deterministic from the seed* — that is the
+injectors' core contract: a red chaos run reproduces exactly from its
+printed seed, like the program-generator fuzz fleet.
+"""
+
+import http.client
+import http.server
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cache import SummaryStore
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    """Every test starts and ends with no plan armed and no worker mark."""
+    faults.clear()
+    faults._IN_WORKER = False
+    yield
+    faults.clear()
+    faults._IN_WORKER = False
+
+
+# --------------------------------------------------------------------------- #
+# Plan plumbing
+# --------------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = faults.FaultPlan(
+            seed=7, kill_rate=0.25, hang_rate=0.5, hang_seconds=9.0,
+            first_attempt_only=False,
+        )
+        assert faults.FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_install_active_clear(self):
+        assert faults.active() is None
+        plan = faults.FaultPlan(seed=3, kill_rate=1.0)
+        faults.install(plan)
+        assert faults.active() == plan
+        faults.clear()
+        assert faults.active() is None
+        faults.clear()  # idempotent
+
+    def test_malformed_env_var_reads_as_no_plan(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "{not json")
+        assert faults.active() is None
+
+
+class TestDecide:
+    def test_deterministic_and_kind_independent(self):
+        a = faults.decide(1, "kill", "job-a")
+        assert a == faults.decide(1, "kill", "job-a")
+        assert 0.0 <= a < 1.0
+        # Different kinds/keys/seeds draw independently.
+        assert a != faults.decide(1, "hang", "job-a")
+        assert a != faults.decide(1, "kill", "job-b")
+        assert a != faults.decide(2, "kill", "job-a")
+
+
+class TestOnJob:
+    PAYLOAD = ({"kind": "ProjectSpec"}, {"kind": "AnalysisRequest"}, 0)
+
+    def test_never_fires_outside_a_marked_worker(self):
+        """Armed plan + unmarked process: on_job must be a no-op (a
+        kill_rate=1.0 draw would otherwise os._exit this test run)."""
+        faults.install(faults.FaultPlan(seed=0, kill_rate=1.0, hang_rate=1.0))
+        faults.on_job(self.PAYLOAD)  # surviving IS the assertion
+
+    def test_never_fires_without_a_plan(self):
+        faults.mark_worker()
+        faults.on_job(self.PAYLOAD)
+
+    def test_first_attempt_only_skips_retries(self):
+        faults.mark_worker()
+        faults.install(
+            faults.FaultPlan(seed=0, hang_rate=1.0, hang_seconds=30.0)
+        )
+        retry = (self.PAYLOAD[0], self.PAYLOAD[1], 1)
+        started = time.monotonic()
+        faults.on_job(retry)  # attempt 1: must return immediately
+        assert time.monotonic() - started < 1.0
+
+    def test_hang_sleeps_in_marked_worker(self):
+        faults.mark_worker()
+        faults.install(
+            faults.FaultPlan(seed=0, hang_rate=1.0, hang_seconds=0.2)
+        )
+        started = time.monotonic()
+        faults.on_job(self.PAYLOAD)
+        assert time.monotonic() - started >= 0.2
+
+
+# --------------------------------------------------------------------------- #
+# Store corruption
+# --------------------------------------------------------------------------- #
+class TestCorruptStore:
+    @staticmethod
+    def _seed_store(tmp_path, buckets=6):
+        store = SummaryStore(str(tmp_path))
+        for index in range(buckets):
+            store.put(f"bucket{index}", "k", index)
+        store.flush()
+        return store
+
+    def test_fraction_one_corrupts_every_bucket(self, tmp_path):
+        self._seed_store(tmp_path)
+        assert faults.corrupt_store(str(tmp_path), seed=1, fraction=1.0) == 6
+        probe = SummaryStore(str(tmp_path))
+        for index in range(6):
+            assert probe.get(f"bucket{index}", "k") is None
+        assert probe.corruptions == 6
+
+    def test_deterministic_selection_from_seed(self, tmp_path):
+        self._seed_store(tmp_path)
+        expected = sum(
+            1
+            for index in range(6)
+            if faults.decide(9, "corrupt", f"bucket{index}.pkl") < 0.5
+        )
+        assert faults.corrupt_store(str(tmp_path), seed=9, fraction=0.5) == expected
+
+    def test_missing_directory_is_zero(self, tmp_path):
+        assert faults.corrupt_store(str(tmp_path / "nope"), seed=0) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Flaky HTTP proxy
+# --------------------------------------------------------------------------- #
+BODY = json.dumps({"payload": "x" * 512}).encode()
+
+
+class _Handler(http.server.BaseHTTPRequestHandler):
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        self.send_response(200)
+        self.send_header("Content-Length", str(len(BODY)))
+        self.end_headers()
+        self.wfile.write(BODY)
+
+    def log_message(self, *args):  # keep test output quiet
+        pass
+
+
+@pytest.fixture()
+def upstream():
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+class TestFlakyProxy:
+    def test_pass_verdict_forwards_response_intact(self, upstream):
+        with faults.FlakyProxy(*upstream.server_address) as proxy:
+            with urllib.request.urlopen(proxy.url, timeout=10) as reply:
+                assert reply.read() == BODY
+            assert proxy.verdicts == ["pass"]
+            assert proxy.faults == 0
+
+    def test_drop_verdict_kills_the_response(self, upstream):
+        with faults.FlakyProxy(
+            *upstream.server_address, drop_rate=1.0
+        ) as proxy:
+            with pytest.raises((urllib.error.URLError, OSError)):
+                with urllib.request.urlopen(proxy.url, timeout=10) as reply:
+                    reply.read()
+            assert proxy.verdicts == ["drop"]
+            assert proxy.faults == 1
+
+    def test_truncate_verdict_cuts_the_response_short(self, upstream):
+        with faults.FlakyProxy(
+            *upstream.server_address, truncate_rate=1.0
+        ) as proxy:
+            received = b""
+            try:
+                with urllib.request.urlopen(proxy.url, timeout=10) as reply:
+                    received = reply.read()
+            except (urllib.error.URLError, OSError, http.client.HTTPException):
+                pass  # a cut connection may also surface as a transport error
+            assert len(received) < len(BODY)
+            assert proxy.verdicts == ["truncate"]
+            assert proxy.faults == 1
+
+    def test_verdict_sequence_is_seed_deterministic(self, upstream):
+        """The verdict log is a pure function of (seed, accept order)."""
+        rates = dict(drop_rate=0.4, truncate_rate=0.3)
+        expected = []
+        rng = random.Random(11)
+        for _ in range(8):
+            draw = rng.random()
+            if draw < rates["drop_rate"]:
+                expected.append("drop")
+            elif draw < rates["drop_rate"] + rates["truncate_rate"]:
+                expected.append("truncate")
+            else:
+                expected.append("pass")
+        with faults.FlakyProxy(
+            *upstream.server_address, seed=11, **rates
+        ) as proxy:
+            for _ in range(8):
+                try:
+                    with urllib.request.urlopen(proxy.url, timeout=10) as reply:
+                        reply.read()
+                except (urllib.error.URLError, OSError, http.client.HTTPException):
+                    pass
+            for _ in range(100):
+                if len(proxy.verdicts) >= 8:
+                    break
+                time.sleep(0.05)
+            assert proxy.verdicts == expected

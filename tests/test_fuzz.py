@@ -290,11 +290,14 @@ class TestClientFixes:
         client = _FlakyClient("http://127.0.0.1:1")
         with pytest.raises(ClientError, match="stream torn"):
             client.wait("job-1")
-        # MAX_WAIT_FAILURES-1 retries sleep with doubling capped backoff.
+        # MAX_WAIT_FAILURES-1 retries sleep with doubling capped backoff,
+        # jittered into [0.5x, 1.0x) to decorrelate synchronized clients.
         assert len(pauses) == ServerClient.MAX_WAIT_FAILURES - 1
-        assert pauses[0] == ServerClient.WAIT_BACKOFF_MIN
-        assert all(b <= ServerClient.WAIT_BACKOFF_MAX for b in pauses)
-        assert pauses[1] == pytest.approx(pauses[0] * 2)
+        assert ServerClient.WAIT_BACKOFF_MIN / 2 <= pauses[0] < ServerClient.WAIT_BACKOFF_MIN
+        assert all(b < ServerClient.WAIT_BACKOFF_MAX for b in pauses)
+        # The pre-jitter schedule doubles: the second pause draws from a
+        # window strictly above the first window's midpoint ceiling.
+        assert ServerClient.WAIT_BACKOFF_MIN <= pauses[1] < ServerClient.WAIT_BACKOFF_MIN * 2
 
     def test_wait_checks_deadline_before_first_poll(self):
         calls = []

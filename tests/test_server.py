@@ -7,7 +7,10 @@ results), including the pinned flight-control per-mode bounds.
 """
 
 import json
+import os
+import signal
 import threading
+import time
 
 import pytest
 
@@ -25,6 +28,7 @@ from repro.server import (
     AnalysisServer,
     JobFailed,
     ProjectSpec,
+    QueueFull,
     RemoteError,
     ResultNotReady,
     Scheduler,
@@ -39,6 +43,7 @@ from repro.server import (
     request_digest,
 )
 from repro.server.client import JobCancelled
+from repro.testing import faults as fault_injection
 from repro.wcet.analyzer import AnalysisOptions
 
 MINI_C = "int main(void) { int x = 3; return x + 4; }"
@@ -78,9 +83,13 @@ class TestWireRoundTrips:
                         check_guidelines=True, label="wire"),
         ServerSubmit(project=ProjectSpec(workload="message-handler"),
                      request=AnalysisRequest(all_modes=True), lane="batch"),
+        ServerSubmit(project=ProjectSpec(workload="message-handler"),
+                     request=AnalysisRequest(), timeout=45.5),
         ServerSubmitReply(job_id="j000001", state="queued", lane="interactive",
                           deduped=True, position=2),
         ServerError(error="AnalysisError", message="unbounded loop", job_id="j1"),
+        ServerError(error="QueueFull", message="lane at capacity",
+                    retry_after=12.0),
         ServerJobStatus(job_id="j000002", state="failed", lane="batch",
                         label="x", deduped=False, submitted=1.5, started=2.5,
                         finished=3.5, seconds=1.0, position=-1,
@@ -93,7 +102,9 @@ class TestWireRoundTrips:
                     jobs={"queued": 1, "done": 2},
                     queue_depth={"interactive": 1, "batch": 0},
                     dedup_hits=3, submitted=6, executed=2,
-                    cache={"tier1_hits": 9}, phase_seconds={"ipet": 0.25}),
+                    cache={"tier1_hits": 9}, phase_seconds={"ipet": 0.25},
+                    faults={"worker_restarts": 2, "rejections": 1},
+                    queue_limit=8),
     ]
 
     @pytest.mark.parametrize("message", MESSAGES, ids=lambda m: type(m).__name__)
@@ -262,6 +273,52 @@ class TestScheduler:
         assert [event.event for event in job.events] == ["queued", "started", "done"]
         assert [event.seq for event in job.events] == [1, 2, 3]
 
+    def test_admission_control_rejects_over_limit_but_admits_joins(self):
+        scheduler = Scheduler(max_queue=1)
+        spec = ProjectSpec(workload="flight-control")
+        scheduler.submit(spec, AnalysisRequest())
+        with pytest.raises(QueueFull) as excinfo:
+            scheduler.submit(spec, AnalysisRequest(mode="air"))
+        assert excinfo.value.retry_after >= 1.0
+        assert excinfo.value.limit == 1
+        assert scheduler.faults["rejections"] == 1
+        # A dedup join adds no work, so it bypasses admission control...
+        joiner = scheduler.submit(spec, AnalysisRequest(label="join"))
+        assert joiner.deduped
+        # ...and a rejected submission left no state behind: once the queue
+        # drains, the same request is admitted as a NEW execution.
+        assert scheduler.pop(timeout=1) is not None
+        again = scheduler.submit(spec, AnalysisRequest(mode="air"))
+        assert not again.deduped
+
+    def test_admission_limit_validated(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            Scheduler(max_queue=0)
+
+    def test_dedup_join_can_only_tighten_the_deadline(self):
+        scheduler = Scheduler()
+        spec = ProjectSpec(workload="flight-control")
+        first = scheduler.submit(spec, AnalysisRequest(), timeout=60.0)
+        assert first.execution.timeout == 60.0
+        scheduler.submit(spec, AnalysisRequest(label="b"), timeout=10.0)
+        assert first.execution.timeout == 10.0
+        scheduler.submit(spec, AnalysisRequest(label="c"), timeout=120.0)
+        assert first.execution.timeout == 10.0  # joins never loosen
+
+    def test_late_outcome_after_terminal_state_is_ignored(self):
+        """A straggling attempt's result must not resurrect a resolved job."""
+        scheduler = Scheduler()
+        job = scheduler.submit(ProjectSpec(workload="flight-control"), AnalysisRequest())
+        execution = scheduler.pop(timeout=1)
+        scheduler.complete(
+            execution, error=ServerError(error="JobTimeout", message="deadline")
+        )
+        assert job.state == "failed"
+        executed = scheduler.executed
+        scheduler.complete(execution, result=_fake_result())  # straggler
+        assert job.state == "failed" and job.result is None
+        assert scheduler.executed == executed
+
 
 # --------------------------------------------------------------------------- #
 # Worker pool (inline mode, no HTTP): results equal the direct facade
@@ -338,6 +395,108 @@ class TestWorkerPool:
                 time.sleep(0.025)
             assert job.state == "failed"
             assert "no-such-workload" in job.error.message
+        finally:
+            scheduler.close()
+            pool.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# Supervised pool (jobs >= 2): crash/deadline fault tolerance
+# --------------------------------------------------------------------------- #
+class TestSupervisedPool:
+    @staticmethod
+    def _wait(jobs, seconds=120):
+        deadline = time.monotonic() + seconds
+        while any(job.state not in ("done", "failed") for job in jobs):
+            assert time.monotonic() < deadline, "supervised pool stalled"
+            time.sleep(0.05)
+
+    def test_worker_killed_mid_job_is_respawned_and_job_retried(self, tmp_path):
+        """SIGKILL a pool worker mid-job: the supervisor must observe the
+        death, respawn the worker, retry the job, and still serve the
+        bit-identical result."""
+        # A certain hang holds the job mid-flight long enough to kill the
+        # worker under it deterministically; the deadline is far away, so the
+        # only fault in play is the kill.
+        fault_injection.install(
+            fault_injection.FaultPlan(seed=3, hang_rate=1.0, hang_seconds=60.0)
+        )
+        scheduler = Scheduler()
+        pool = WorkerPool(scheduler, jobs=2, cache_dir=str(tmp_path), job_timeout=120.0)
+        pool.start()
+        try:
+            spec = ProjectSpec(source=MINI_C, name="t.c")
+            job = scheduler.submit(spec, AnalysisRequest(label="survivor"))
+            deadline = time.monotonic() + 30
+            while job.state != "running" or not pool.worker_pids():
+                assert time.monotonic() < deadline, "job never reached a worker"
+                time.sleep(0.05)
+            time.sleep(0.3)  # let the worker settle into the injected hang
+            for pid in pool.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            self._wait([job])
+            assert job.state == "done", job.error and job.error.message
+            direct = AnalysisService(spec.to_project(cache="off")).analyze(
+                AnalysisRequest(label="survivor")
+            )
+            assert result_identity(job.result) == result_identity(direct)
+            assert scheduler.faults.get("worker_restarts", 0) >= 1
+            assert scheduler.faults.get("job_retries", 0) >= 1
+            assert any(
+                event.event == "retrying" for event in job.events
+            ), [event.event for event in job.events]
+        finally:
+            fault_injection.clear()
+            scheduler.close()
+            pool.shutdown()
+
+    def test_deadline_expiry_surfaces_typed_job_timeout(self, tmp_path):
+        """A job hanging past its per-job deadline is killed and — with the
+        retry budget exhausted — fails with a typed JobTimeout envelope."""
+        fault_injection.install(
+            fault_injection.FaultPlan(seed=5, hang_rate=1.0, hang_seconds=30.0)
+        )
+        scheduler = Scheduler()
+        pool = WorkerPool(
+            scheduler,
+            jobs=2,
+            cache_dir=str(tmp_path),
+            job_timeout=120.0,
+            timeout_retries=0,
+        )
+        pool.start()
+        try:
+            # The per-submission deadline overrides the pool default.
+            job = scheduler.submit(
+                ProjectSpec(source=MINI_C, name="t.c"),
+                AnalysisRequest(),
+                timeout=1.5,
+            )
+            self._wait([job], seconds=60)
+            assert job.state == "failed"
+            assert job.error.error == "JobTimeout"
+            assert "deadline" in job.error.message
+            assert "attempt(s)" in job.error.message
+            assert scheduler.faults.get("job_timeouts", 0) >= 1
+        finally:
+            fault_injection.clear()
+            scheduler.close()
+            pool.shutdown()
+
+    def test_deterministic_failure_is_not_retried(self, tmp_path):
+        """A ReproError travels back typed and burns no retry budget."""
+        scheduler = Scheduler()
+        pool = WorkerPool(scheduler, jobs=2, cache_dir=str(tmp_path))
+        pool.start()
+        try:
+            job = scheduler.submit(
+                ProjectSpec(workload="no-such-workload"), AnalysisRequest()
+            )
+            self._wait([job], seconds=60)
+            assert job.state == "failed"
+            assert "no-such-workload" in job.error.message
+            assert scheduler.faults.get("job_retries", 0) == 0
+            assert job.execution.attempts == 0
         finally:
             scheduler.close()
             pool.shutdown()
@@ -513,6 +672,76 @@ class TestQueuedJobHTTP:
         assert client.status(first.id).position == 0
         assert client.status(second.id).position == 1
         assert client.healthz().queue_depth == {"interactive": 2, "batch": 0}
+
+
+# --------------------------------------------------------------------------- #
+# Admission control over HTTP (bounded queue, no workers)
+# --------------------------------------------------------------------------- #
+class TestAdmissionControlHTTP:
+    @pytest.fixture()
+    def bounded_idle_server(self):
+        server = AnalysisServer(port=0, jobs=1, max_queue=1)
+        # Listener only — no workers — so the queue stays full deterministically.
+        thread = threading.Thread(target=server._httpd.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.scheduler.close()
+        server._httpd.shutdown()
+        server._httpd.server_close()
+
+    def test_queue_full_is_429_envelope_with_retry_after(self, bounded_idle_server):
+        client = ServerClient(bounded_idle_server.url, timeout=10)
+        client.submit(ProjectSpec(workload="message-handler"), AnalysisRequest())
+        with pytest.raises(RemoteError) as excinfo:
+            client.submit(
+                ProjectSpec(workload="flight-control"), AnalysisRequest(), retries=0
+            )
+        assert excinfo.value.status == 429
+        assert excinfo.value.error.error == "QueueFull"
+        # The hint arrives both as a Retry-After header and in the envelope.
+        assert excinfo.value.retry_after is not None
+        assert excinfo.value.retry_after >= 1
+        assert excinfo.value.error.retry_after >= 1
+        stats = client.healthz()
+        assert stats.faults.get("rejections", 0) >= 1
+        assert stats.queue_limit == 1
+
+    def test_dedup_join_admitted_while_lane_full(self, bounded_idle_server):
+        client = ServerClient(bounded_idle_server.url, timeout=10)
+        client.submit(ProjectSpec(workload="message-handler"), AnalysisRequest())
+        joiner = client.submit(
+            ProjectSpec(workload="message-handler"),
+            AnalysisRequest(label="join"),
+            retries=0,
+        )
+        assert joiner.deduped
+
+    def test_submit_retries_sleep_on_the_hint_then_surface_429(
+        self, bounded_idle_server
+    ):
+        client = ServerClient(bounded_idle_server.url, timeout=10)
+        client.submit(ProjectSpec(workload="message-handler"), AnalysisRequest())
+        started = time.monotonic()
+        with pytest.raises(RemoteError) as excinfo:
+            client.submit(
+                ProjectSpec(workload="flight-control"), AnalysisRequest(), retries=2
+            )
+        elapsed = time.monotonic() - started
+        assert excinfo.value.status == 429
+        # 1 initial + 2 retried attempts, each rejected and counted...
+        assert client.healthz().faults.get("rejections", 0) >= 3
+        # ...with a jittered sleep (>= hint/2 each) between attempts.
+        assert elapsed >= 1.0
+
+    def test_job_timeout_travels_to_the_execution(self, bounded_idle_server):
+        client = ServerClient(bounded_idle_server.url, timeout=10)
+        job = client.submit(
+            ProjectSpec(workload="message-handler"),
+            AnalysisRequest(),
+            job_timeout=2.5,
+        )
+        execution = bounded_idle_server.scheduler.job(job.id).execution
+        assert execution.timeout == 2.5
 
 
 # --------------------------------------------------------------------------- #

@@ -132,3 +132,67 @@ class TestLockMechanics:
         writes = store.file_writes
         store.flush()  # nothing staged: no second write, no deadlock
         assert store.file_writes == writes
+
+
+class TestCorruptionQuarantine:
+    @staticmethod
+    def _seed(tmp_path):
+        store = SummaryStore(str(tmp_path))
+        store.put("b", "k", "v")
+        store.flush()
+        return store
+
+    def test_garbage_bucket_is_quarantined_not_fatal(self, tmp_path):
+        """A corrupt pickle reads as a miss, is counted, and moves aside."""
+        self._seed(tmp_path)
+        (tmp_path / "b.pkl").write_bytes(b"\x80\x05not a pickle at all")
+        fresh = SummaryStore(str(tmp_path))
+        assert fresh.get("b", "k") is None
+        assert fresh.corruptions == 1
+        names = sorted(os.listdir(tmp_path))
+        assert "b.pkl" not in names
+        quarantined = [name for name in names if name.startswith("b.corrupt-")]
+        assert len(quarantined) == 1
+        # Quarantined files are not buckets: they never count or get re-read.
+        assert len(fresh) == 0
+        assert fresh.get("b", "k") is None
+        assert fresh.corruptions == 1  # the page cache holds; no re-quarantine
+
+    def test_truncated_bucket_is_quarantined(self, tmp_path):
+        """A torn write (valid prefix, cut mid-stream) also quarantines."""
+        self._seed(tmp_path)
+        data = (tmp_path / "b.pkl").read_bytes()
+        (tmp_path / "b.pkl").write_bytes(data[: max(len(data) // 3, 1)])
+        fresh = SummaryStore(str(tmp_path))
+        assert fresh.get("b", "k") is None
+        assert fresh.corruptions == 1
+
+    def test_non_dict_pickle_is_quarantined(self, tmp_path):
+        """A well-formed pickle of the wrong shape is corruption too."""
+        import pickle
+
+        self._seed(tmp_path)
+        (tmp_path / "b.pkl").write_bytes(pickle.dumps(["not", "a", "dict"]))
+        fresh = SummaryStore(str(tmp_path))
+        assert fresh.get("b", "k") is None
+        assert fresh.corruptions == 1
+
+    def test_flush_recreates_bucket_after_quarantine(self, tmp_path):
+        """The store heals: the next flush rebuilds the bucket from scratch."""
+        self._seed(tmp_path)
+        (tmp_path / "b.pkl").write_bytes(b"garbage")
+        store = SummaryStore(str(tmp_path))
+        assert store.get("b", "k") is None  # quarantines
+        store.put("b", "k2", "v2")
+        store.flush()
+        healed = SummaryStore(str(tmp_path))
+        assert healed.get("b", "k2") == "v2"
+        assert healed.corruptions == 0
+        assert len(healed) == 1
+
+    def test_missing_file_is_a_plain_miss(self, tmp_path):
+        """Absence is not corruption: no counter, no quarantine artefacts."""
+        store = SummaryStore(str(tmp_path))
+        assert store.get("nope", "k") is None
+        assert store.corruptions == 0
+        assert os.listdir(tmp_path) == []
