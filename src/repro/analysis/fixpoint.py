@@ -32,6 +32,17 @@ from typing import Callable, Dict, Generic, Iterable, List, Optional, Set, TypeV
 from repro.errors import AnalysisError
 from repro.analysis.wto import WeakTopologicalOrder
 from repro.cfg.graph import ENTRY, EXIT, ControlFlowGraph
+from repro.obs import metrics as obs_metrics
+
+_M_ITERATIONS = obs_metrics.REGISTRY.counter(
+    "repro_fixpoint_iterations_total", "Worklist iterations across fixpoint solves."
+)
+_M_JOINS = obs_metrics.REGISTRY.counter(
+    "repro_fixpoint_joins_total", "Pairwise joins at merge points."
+)
+_M_WIDENS = obs_metrics.REGISTRY.counter(
+    "repro_fixpoint_widens_total", "Widenings applied at loop heads."
+)
 
 State = TypeVar("State")
 
@@ -191,6 +202,12 @@ class ForwardSolver(Generic[State]):
         result.iterations = iterations
         result.joins = joins
         result.widens = widens
+        if iterations:
+            _M_ITERATIONS.inc(iterations)
+        if joins:
+            _M_JOINS.inc(joins)
+        if widens:
+            _M_WIDENS.inc(widens)
         return result
 
 

@@ -36,6 +36,14 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
+from repro.obs import metrics as obs_metrics
+
+_M_CACHE = obs_metrics.REGISTRY.counter(
+    "repro_summary_cache_requests_total",
+    "Summary-cache lookups by tier (1 = in-process, 2 = disk) and result.",
+    labelnames=("tier", "result"),
+)
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.annotations.registry import AnnotationSet
     from repro.cache.store import SummaryStore
@@ -191,15 +199,19 @@ class SummaryCache:
         summary = self._memory.get((bucket, item))
         if summary is not None:
             self.tier1_hits += 1
+            _M_CACHE.inc(tier="1", result="hit")
             return summary
         self.tier1_misses += 1
+        _M_CACHE.inc(tier="1", result="miss")
         if self.store is not None:
             summary = self.store.get(bucket, item)
             if summary is not None:
                 self.tier2_hits += 1
+                _M_CACHE.inc(tier="2", result="hit")
                 self._memory[(bucket, item)] = summary
                 return summary
             self.tier2_misses += 1
+            _M_CACHE.inc(tier="2", result="miss")
         return None
 
     def put(self, bucket: str, item: str, summary: FunctionSummary) -> None:

@@ -45,6 +45,7 @@ from repro.ir.instructions import (
     Sym,
 )
 from repro.ir.program import Program, STACK_SIZE, STACK_TOP, WORD_SIZE
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass
@@ -203,6 +204,15 @@ def default_engine() -> str:
 _KERNEL_CACHE: Dict[Tuple[str, str], Tuple[Dict[int, object], Dict[int, int]]] = {}
 _KERNEL_CACHE_LIMIT = 4096
 _KERNEL_JIT_THRESHOLD = 8
+
+_M_COMPILES = obs_metrics.REGISTRY.counter(
+    "repro_kernel_jit_compiles_total",
+    "Basic blocks compiled into fused value-analysis kernels.",
+)
+_M_INTERPRETED = obs_metrics.REGISTRY.counter(
+    "repro_kernel_interpreted_blocks_total",
+    "Tiered-execution block runs served by the interpreter.",
+)
 
 #: Generated-source -> code-object cache.  Blocks with identical instruction
 #: shapes (constants are bound by positional name, so only the shape matters)
@@ -385,6 +395,7 @@ class ValueAnalysis:
             count = runs.get(block_id, 0) + 1
             if count < _KERNEL_JIT_THRESHOLD:
                 runs[block_id] = count
+                _M_INTERPRETED.inc()
                 for apply_instruction in self._appliers(block_id):
                     state = apply_instruction(state)
                 return state
@@ -392,6 +403,7 @@ class ValueAnalysis:
                 self.cfg.block(block_id), self.cfg.function_name
             )
             kernels[block_id] = kernel
+            _M_COMPILES.inc()
         return kernel(self, state)
 
     def _appliers(self, block_id: int) -> list:

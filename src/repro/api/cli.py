@@ -153,7 +153,46 @@ def _cmd_analyze_remote(args) -> int:
     return EXIT_OK
 
 
+def _trace_export(path: str):
+    """Context manager: install a fresh tracer around one CLI command and
+    write everything it recorded to ``path`` as Chrome trace-event JSON."""
+    import contextlib
+
+    from repro.obs import trace as obs_trace
+
+    @contextlib.contextmanager
+    def _manager():
+        previous = obs_trace.install(obs_trace.Tracer())
+        span = obs_trace.begin("repro-analyze")
+        try:
+            yield
+        finally:
+            obs_trace.end(span)
+            tracer = obs_trace.active()
+            spans = tracer.drain() if tracer is not None else []
+            obs_trace.install(previous)
+            try:
+                obs_trace.write_chrome_trace(path, spans)
+                print(
+                    f"wrote trace ({len(spans)} spans) to {path}", file=sys.stderr
+                )
+            except OSError as exc:
+                print(
+                    f"warning: cannot write trace to {path}: {exc}",
+                    file=sys.stderr,
+                )
+
+    return _manager()
+
+
 def cmd_analyze(args) -> int:
+    if args.trace:
+        with _trace_export(args.trace):
+            return _cmd_analyze_impl(args)
+    return _cmd_analyze_impl(args)
+
+
+def _cmd_analyze_impl(args) -> int:
     if args.remote:
         return _cmd_analyze_remote(args)
     try:
@@ -430,14 +469,31 @@ def cmd_bench(args) -> int:
     from repro.benchmarks import (
         append_record,
         check_regression,
+        measure_trace_overhead,
         run_macro_workload,
     )
 
-    _say(args, "running macro workload (analyses + 50-seed differential sweep)...")
-    if args.profile:
+    profile = args.profile or bool(args.profile_out)
+    if args.trace_overhead and profile:
+        print(
+            "error: --trace-overhead and --profile are mutually exclusive "
+            "(profiler overhead would drown the tracing overhead)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    if args.trace_overhead:
+        _say(
+            args,
+            "running macro workload 4x (untraced/traced interleaved) to "
+            "measure tracing overhead...",
+        )
+        record = measure_trace_overhead(jobs=args.jobs)
+    elif profile:
         import cProfile
         import pstats
 
+        _say(args, "running macro workload (analyses + 50-seed differential sweep)...")
         profiler = cProfile.Profile()
         profiler.enable()
         try:
@@ -448,8 +504,13 @@ def cmd_bench(args) -> int:
             profiler.disable()
             stats = pstats.Stats(profiler, stream=sys.stderr)
             stats.sort_stats("cumulative").print_stats(25)
+            if args.profile_out:
+                stats.dump_stats(args.profile_out)
+                _say(args, f"wrote full profile stats to {args.profile_out}")
     else:
+        _say(args, "running macro workload (analyses + 50-seed differential sweep)...")
         record = run_macro_workload(args.label, jobs=args.jobs, cache_dir=args.cache_dir)
+    record.label = args.label
 
     _say(args, f"total: {record.total_seconds:.2f}s")
     for phase, seconds in sorted(record.phases.items()):
@@ -475,6 +536,22 @@ def cmd_bench(args) -> int:
         return EXIT_FAILURE
 
     status = 0
+    if args.trace_overhead:
+        overhead = record.extra["trace_overhead"]
+        _say(
+            args,
+            f"trace overhead: {overhead['overhead_fraction']:+.1%} "
+            f"({overhead['untraced_seconds']:.2f}s untraced vs "
+            f"{overhead['traced_seconds']:.2f}s traced, "
+            f"{overhead['spans_per_run']} spans/run)",
+        )
+        if overhead["overhead_fraction"] > args.max_trace_overhead:
+            print(
+                f"trace overhead check FAILED: {overhead['overhead_fraction']:.1%} "
+                f"> budget {args.max_trace_overhead:.1%}",
+                file=sys.stderr,
+            )
+            status = 1
     if args.check_regression:
         problem = check_regression(args.output, record, args.max_regression)
         if problem is None:
@@ -528,6 +605,15 @@ def cmd_serve(args) -> int:
     from repro.server.http import AnalysisServer
     from repro.server.workers import DEFAULT_JOB_TIMEOUT
 
+    log_stream = None
+    if args.log_json == "-":
+        log_stream = sys.stderr
+    elif args.log_json:
+        try:
+            log_stream = open(args.log_json, "a", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot open --log-json {args.log_json}: {exc}", file=sys.stderr)
+            return EXIT_USAGE
     try:
         server = AnalysisServer(
             host=args.host,
@@ -541,6 +627,8 @@ def cmd_serve(args) -> int:
                 if args.job_timeout is not None
                 else DEFAULT_JOB_TIMEOUT
             ),
+            trace_dir=args.trace_dir,
+            log_stream=log_stream,
         )
     except OSError as exc:  # port in use, unbindable host, ...
         print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
@@ -633,6 +721,13 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--timeout", type=float, default=None,
         help="seconds to wait for a --remote result (default: no limit)",
+    )
+    analyze.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="export a Chrome trace-event JSON of the analysis to PATH "
+        "(open in Perfetto / chrome://tracing; works with --remote too — "
+        "the trace context rides the wire, server-side spans are exported "
+        "by the server's --trace-dir)",
     )
     analyze.set_defaults(func=cmd_analyze)
 
@@ -803,6 +898,22 @@ def build_parser() -> argparse.ArgumentParser:
         "by cumulative time to stderr (the measured seconds then include "
         "profiler overhead; do not append such runs)",
     )
+    bench.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="dump the full cProfile stats to PATH (implies --profile; load "
+        "with pstats.Stats(PATH) or snakeviz)",
+    )
+    bench.add_argument(
+        "--trace-overhead", action="store_true",
+        help="run the workload untraced and traced (interleaved, best-of-2 "
+        "each) and report the tracing overhead; the appended entry is the "
+        "untraced one with the measurement under 'extra'",
+    )
+    bench.add_argument(
+        "--max-trace-overhead", type=float, default=0.05,
+        help="fail --trace-overhead runs whose overhead exceeds this "
+        "fraction (default 0.05)",
+    )
     bench.set_defaults(func=cmd_bench)
 
     # report ------------------------------------------------------------ #
@@ -845,6 +956,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="export one Chrome trace-event JSON per completed trace to DIR "
+        "(clients submitting without a trace context get server-minted ids)",
+    )
+    serve.add_argument(
+        "--log-json", default=None, metavar="PATH",
+        help="write structured JSON-lines logs (requests, worker lifecycle, "
+        "job outcomes) to PATH ('-' = stderr)",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -29,6 +29,7 @@ from repro.api.project import Project
 from repro.api import serialize
 from repro.errors import ReproError
 from repro.guidelines.checker import GuidelineChecker, GuidelineReport
+from repro.obs import trace as obs_trace
 from repro.wcet.analyzer import AnalysisOptions, WCETAnalyzer
 from repro.wcet.report import WCETReport
 
@@ -166,19 +167,27 @@ class AnalysisService:
             )
         started = time.perf_counter()
         before = self.summary_cache.stats()
-        analyzer = self.analyzer(request.options)
-        entry = request.entry or self.project.entry
-        if request.all_modes:
-            reports = analyzer.analyze_all_modes(entry=entry)
-        else:
-            reports = {
-                request.mode: analyzer.analyze(
-                    entry=entry,
-                    mode=request.mode,
-                    error_scenario=request.error_scenario,
-                )
-            }
-        guidelines = self.check_guidelines() if request.check_guidelines else None
+        with obs_trace.span(
+            "analyze",
+            attrs={
+                "label": request.label or self.project.name,
+                "entry": request.entry or self.project.entry,
+                "all_modes": request.all_modes,
+            },
+        ):
+            analyzer = self.analyzer(request.options)
+            entry = request.entry or self.project.entry
+            if request.all_modes:
+                reports = analyzer.analyze_all_modes(entry=entry)
+            else:
+                reports = {
+                    request.mode: analyzer.analyze(
+                        entry=entry,
+                        mode=request.mode,
+                        error_scenario=request.error_scenario,
+                    )
+                }
+            guidelines = self.check_guidelines() if request.check_guidelines else None
         after = self.summary_cache.stats()
         return AnalysisResult(
             label=request.label or self.project.name,

@@ -78,6 +78,10 @@ class BenchmarkRecord:
     counters: Dict[str, int] = field(default_factory=dict)
     python: str = field(default_factory=platform.python_version)
     machine: str = field(default_factory=machine_fingerprint)
+    #: Optional side measurements (e.g. the traced-vs-untraced overhead of
+    #: ``bench --trace-overhead``); serialised only when non-empty so plain
+    #: entries keep their historical shape.
+    extra: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_mode(self) -> tuple:
@@ -86,7 +90,7 @@ class BenchmarkRecord:
         return (bool(self.cache.get("enabled")), bool(self.cache.get("warm")))
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        payload = {
             "label": self.label,
             "timestamp": self.timestamp,
             "python": self.python,
@@ -99,6 +103,9 @@ class BenchmarkRecord:
             "cache": self.cache,
             "counters": self.counters,
         }
+        if self.extra:
+            payload["extra"] = self.extra
+        return payload
 
 
 # --------------------------------------------------------------------------- #
@@ -244,6 +251,67 @@ def run_macro_workload(
         cache=cache_stats,
         counters=counters,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Tracing overhead (``bench --trace-overhead``)
+# --------------------------------------------------------------------------- #
+def measure_trace_overhead(jobs: int = 1) -> BenchmarkRecord:
+    """Measure the wall-clock cost of tracing on the macro workload.
+
+    Runs the workload four times in ABBA order (untraced, traced, traced,
+    untraced) so both modes get one cache-cold and one cache-warm slot —
+    in-process kernel/code caches persist across runs, and a fixed order
+    would systematically flatter whichever mode ran later.  The overhead is
+    computed best-of-each (damping scheduler noise), and every run's
+    identity block must match: tracing that changes a single bound is a
+    bug, not overhead.
+
+    Returns the best *untraced* record with the measurement attached under
+    ``extra`` — that record is what lands in BENCH_perf.json, so the
+    trajectory's wall-clock numbers stay untraced-to-untraced comparable.
+    """
+    from repro.obs import trace as obs_trace
+
+    runs = []  # (traced, record, span_count)
+    for traced in (False, True, True, False):
+        if traced:
+            previous = obs_trace.install(obs_trace.Tracer())
+            try:
+                record = run_macro_workload("traced", jobs=jobs)
+                spans = len(obs_trace.active().drain())
+            finally:
+                obs_trace.install(previous)
+        else:
+            record = run_macro_workload("untraced", jobs=jobs)
+            spans = 0
+        runs.append((traced, record, spans))
+
+    identities = [record.identity for _, record, _ in runs]
+    if any(identity != identities[0] for identity in identities[1:]):
+        raise AssertionError(
+            "tracing changed analysis results: identity blocks differ "
+            f"between runs: {identities}"
+        )
+
+    best_untraced = min(
+        (record for traced, record, _ in runs if not traced),
+        key=lambda record: record.total_seconds,
+    )
+    best_traced = min(
+        (record for traced, record, _ in runs if traced),
+        key=lambda record: record.total_seconds,
+    )
+    overhead = (
+        best_traced.total_seconds - best_untraced.total_seconds
+    ) / best_untraced.total_seconds
+    best_untraced.extra["trace_overhead"] = {
+        "untraced_seconds": round(best_untraced.total_seconds, 4),
+        "traced_seconds": round(best_traced.total_seconds, 4),
+        "overhead_fraction": round(overhead, 4),
+        "spans_per_run": max(spans for _, _, spans in runs),
+    }
+    return best_untraced
 
 
 # --------------------------------------------------------------------------- #

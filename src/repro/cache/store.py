@@ -40,6 +40,12 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro.obs import metrics as obs_metrics
+
+_M_QUARANTINES = obs_metrics.REGISTRY.counter(
+    "repro_store_quarantines_total", "Corrupt bucket files moved aside."
+)
+
 
 class SummaryStore:
     """Content-addressed persistent store for pickled analysis summaries.
@@ -118,6 +124,7 @@ class SummaryStore:
         gone either way.
         """
         self.corruptions += 1
+        _M_QUARANTINES.inc()
         stamp = int(time.time() * 1000)
         try:
             os.replace(

@@ -1,0 +1,66 @@
+"""JSON-lines structured logging (stdlib only).
+
+One :class:`StructuredLogger` per process, disabled until
+:func:`configure` gives it a stream — a disabled ``log()`` call is a single
+attribute check, so instrumented paths (HTTP handlers, worker supervisors)
+cost nothing in the default configuration.
+
+Each line is one JSON object: ``ts`` (epoch seconds), ``pid``, ``event``,
+plus whatever fields the call site supplies — the server threads trace and
+job ids through (``trace_id``, ``job_id``), so a log line joins against an
+exported trace and against ``GET /v1/jobs/<id>``.  ``None``-valued fields
+are dropped rather than serialised, keeping lines greppable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import IO, Optional
+
+__all__ = ["StructuredLogger", "configure", "get"]
+
+
+class StructuredLogger:
+    """Thread-safe JSON-lines writer; a no-op without a stream."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.stream = stream
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.stream is not None
+
+    def log(self, event: str, **fields) -> None:
+        stream = self.stream
+        if stream is None:
+            return
+        entry = {"ts": round(time.time(), 6), "pid": os.getpid(), "event": event}
+        for key, value in fields.items():
+            if value is not None:
+                entry[key] = value
+        line = json.dumps(entry, sort_keys=True, default=str)
+        with self._lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                # A torn log sink (closed file, full disk) must never take
+                # a request handler or worker supervisor down with it.
+                pass
+
+
+_GLOBAL = StructuredLogger()
+
+
+def configure(stream: Optional[IO[str]]) -> StructuredLogger:
+    """Point the process logger at a stream (``None`` disables it)."""
+    _GLOBAL.stream = stream
+    return _GLOBAL
+
+
+def get() -> StructuredLogger:
+    return _GLOBAL

@@ -1,0 +1,425 @@
+"""Hierarchical tracing over monotonic clocks (stdlib only).
+
+The model is deliberately small:
+
+* a :class:`Span` is a named ``[start, end)`` interval on
+  ``time.monotonic()`` with a trace id, its own span id, an optional parent
+  span id, and free-form attributes;
+* a :class:`Tracer` collects finished spans and keeps a *per-thread* stack
+  of open ones, so nested ``begin``/``end`` pairs parent automatically
+  within a thread, while cross-thread (and cross-process) edges are drawn
+  with an explicit ``parent`` context dict ``{"trace_id": ..,
+  "parent_id": ..}`` — the exact dict that travels in the
+  ``ServerSubmit.trace`` wire field;
+* exactly one tracer may be *installed* process-wide.  Every instrumented
+  call site goes through the module-level :func:`begin`/:func:`end`/
+  :func:`span` helpers, which reduce to a single global read and return a
+  shared no-op when no tracer is installed — the zero-overhead-off
+  contract the analysis hot paths rely on.
+
+``time.monotonic()`` is CLOCK_MONOTONIC on Linux, which is shared across
+processes — spans recorded in a worker process land on the same timeline
+as the server's, so an end-to-end trace lines up without clock fencing.
+
+Export is Chrome trace-event JSON (``{"traceEvents": [...]}``, complete
+duration events, microsecond units), which Perfetto and ``chrome://tracing``
+open directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active",
+    "begin",
+    "chrome_trace_events",
+    "end",
+    "install",
+    "new_trace_id",
+    "record",
+    "span",
+    "validate_chrome",
+    "write_chrome_trace",
+]
+
+_span_counter = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return os.urandom(8).hex()
+
+
+def _new_span_id() -> str:
+    # pid-prefixed so ids minted in a worker process can never collide with
+    # the server's (both sides append into one trace).
+    return f"{os.getpid():x}-{next(_span_counter):x}"
+
+
+class Span:
+    """One named interval on the monotonic clock."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "end",
+                 "pid", "tid", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = 0.0
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self.attrs: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------ #
+    def set(self, key: str, value: Any) -> "Span":
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
+        return self
+
+    def context(self) -> Dict[str, Optional[str]]:
+        """The propagation dict: install it as a child's ``parent``."""
+        return {"trace_id": self.trace_id, "parent_id": self.span_id}
+
+    @property
+    def seconds(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.attrs:
+            data["attrs"] = dict(self.attrs)
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(
+            name=data["name"],
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start=data["start"],
+        )
+        span.end = data.get("end", span.start)
+        span.pid = data.get("pid", span.pid)
+        span.tid = data.get("tid", span.tid)
+        attrs = data.get("attrs")
+        if attrs:
+            span.attrs = dict(attrs)
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.seconds * 1e3:.3f}ms)"
+        )
+
+
+class _NoopSpan:
+    """Returned by :func:`span` when tracing is off; absorbs everything."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    def context(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanContext:
+    """Context-manager wrapper over one live ``begin``/``end`` pair."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer.end(self._span)
+
+
+class Tracer:
+    """Collects spans; thread-safe, with per-thread open-span stacks."""
+
+    def __init__(self, trace_id: Optional[str] = None):
+        #: Default trace id for root spans begun without an explicit parent.
+        self.trace_id = trace_id or new_trace_id()
+        self._spans: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def begin(
+        self,
+        name: str,
+        parent: Optional[Dict[str, Optional[str]]] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Open a span.  ``parent`` (a :meth:`Span.context` dict) wins over
+        the thread's innermost open span; with neither, the span is a root
+        on the tracer's own trace id."""
+        stack = self._stack()
+        if parent is not None:
+            trace_id = parent.get("trace_id") or self.trace_id
+            parent_id = parent.get("parent_id")
+        elif stack:
+            top = stack[-1]
+            trace_id = top.trace_id
+            parent_id = top.span_id
+        else:
+            trace_id = self.trace_id
+            parent_id = None
+        span = Span(name, trace_id, _new_span_id(), parent_id, time.monotonic())
+        if attrs:
+            span.attrs = dict(attrs)
+        stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        span.end = time.monotonic()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # out-of-order end (error paths): drop it wherever it sits
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def span(self, name: str, parent=None, attrs=None) -> _SpanContext:
+        return _SpanContext(self, self.begin(name, parent=parent, attrs=attrs))
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Optional[Dict[str, Optional[str]]] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Record a span measured externally (e.g. a queue wait reconstructed
+        at dispatch time) — never touches the open-span stack."""
+        if parent is not None:
+            trace_id = parent.get("trace_id") or self.trace_id
+            parent_id = parent.get("parent_id")
+        else:
+            trace_id = self.trace_id
+            parent_id = None
+        span = Span(name, trace_id, _new_span_id(), parent_id, start)
+        span.end = end
+        if attrs:
+            span.attrs = dict(attrs)
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------ #
+    def add(self, spans: Iterable[Dict[str, Any]]) -> int:
+        """Merge serialised spans shipped from another process."""
+        parsed = [Span.from_json(data) for data in spans]
+        with self._lock:
+            self._spans.extend(parsed)
+        return len(parsed)
+
+    def spans(self, trace_id: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            if trace_id is None:
+                return list(self._spans)
+            return [span for span in self._spans if span.trace_id == trace_id]
+
+    def drain(self, trace_id: Optional[str] = None) -> List[Span]:
+        """Remove and return finished spans (all, or one trace's)."""
+        with self._lock:
+            if trace_id is None:
+                drained, self._spans = self._spans, []
+            else:
+                drained = [s for s in self._spans if s.trace_id == trace_id]
+                self._spans = [s for s in self._spans if s.trace_id != trace_id]
+            return drained
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+# --------------------------------------------------------------------------- #
+# Process-global tracer + zero-overhead module helpers
+# --------------------------------------------------------------------------- #
+_ACTIVE: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or, with ``None``, remove) the process tracer; returns the
+    previous one so callers can restore it."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def active() -> Optional[Tracer]:
+    return _ACTIVE
+
+
+def begin(name: str, parent=None, attrs=None) -> Optional[Span]:
+    """Open a span on the installed tracer; ``None`` when tracing is off.
+
+    The off path is one global read — cheap enough for per-function call
+    sites inside the analysis pipeline."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    return tracer.begin(name, parent=parent, attrs=attrs)
+
+
+def end(span: Optional[Span]) -> None:
+    """Close a span from :func:`begin` (``None``-tolerant)."""
+    if span is None:
+        return
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.end(span)
+
+
+def span(name: str, parent=None, attrs=None):
+    """Context-manager form; a shared no-op singleton when tracing is off."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP_SPAN
+    return tracer.span(name, parent=parent, attrs=attrs)
+
+
+def record(name: str, start: float, end_: float, parent=None, attrs=None) -> None:
+    """Record an externally-measured span on the installed tracer, if any."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.record(name, start, end_, parent=parent, attrs=attrs)
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event export (Perfetto / chrome://tracing)
+# --------------------------------------------------------------------------- #
+def chrome_trace_events(spans: Iterable[Span]) -> Dict[str, Any]:
+    """Render spans as a Chrome trace-event document (complete events)."""
+    events = []
+    for span_ in spans:
+        args: Dict[str, Any] = {
+            "trace_id": span_.trace_id,
+            "span_id": span_.span_id,
+        }
+        if span_.parent_id is not None:
+            args["parent_id"] = span_.parent_id
+        if span_.attrs:
+            args.update(span_.attrs)
+        events.append(
+            {
+                "name": span_.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span_.start * 1e6,
+                "dur": span_.seconds * 1e6,
+                "pid": span_.pid,
+                "tid": span_.tid,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda event: event["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: Iterable[Span], merge: bool = False) -> int:
+    """Write (or, with ``merge``, append into) a Chrome trace file.
+
+    Returns the total number of events in the file afterwards."""
+    document = chrome_trace_events(spans)
+    if merge:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            events = existing.get("traceEvents", []) + document["traceEvents"]
+            events.sort(key=lambda event: event.get("ts", 0))
+            document["traceEvents"] = events
+        except (OSError, ValueError):
+            pass
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return len(document["traceEvents"])
+
+
+def validate_chrome(document: Any) -> List[str]:
+    """Structural check against the Chrome trace-event schema (the subset
+    this module emits).  Returns a list of problems — empty means valid."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for key, kinds in (
+            ("name", str), ("ph", str), ("ts", (int, float)),
+            ("pid", int), ("tid", int),
+        ):
+            if not isinstance(event.get(key), kinds):
+                problems.append(f"{where}.{key} missing or mistyped")
+        if event.get("ph") == "X" and not isinstance(
+            event.get("dur"), (int, float)
+        ):
+            problems.append(f"{where}.dur missing on a complete event")
+    return problems

@@ -36,6 +36,7 @@ from typing import Iterator, Optional
 from repro.api import serialize
 from repro.api.service import AnalysisRequest, AnalysisResult
 from repro.errors import ReproError
+from repro.obs import trace as obs_trace
 from repro.server.wire import (
     TERMINAL_STATES,
     ProjectSpec,
@@ -203,28 +204,40 @@ class ServerClient:
         :attr:`RETRY_AFTER_CAP` and jittered so synchronized clients don't
         re-stampede the queue on the same tick.
         """
+        # When this process traces, the span context rides the wire so the
+        # server-side queue/dispatch/worker spans join the client's trace.
+        span = obs_trace.begin(
+            "client-submit", attrs={"lane": lane, "url": self.url}
+        )
         submit = ServerSubmit(
             project=spec,
             request=request or AnalysisRequest(),
             lane=lane,
             timeout=job_timeout,
+            trace=span.context() if span is not None else None,
         )
         payload = serialize.to_json(submit)
         budget = self.SUBMIT_RETRIES if retries is None else retries
         attempt = 0
-        while True:
-            try:
-                reply = serialize.from_json(
-                    self._call("POST", "/v1/jobs", payload), ServerSubmitReply
-                )
-                return RemoteJob(self, reply)
-            except RemoteError as exc:
-                if exc.status != 429 or attempt >= budget:
-                    raise
-                hint = exc.retry_after if exc.retry_after is not None else 1.0
-                pause = min(hint, self.RETRY_AFTER_CAP)
-                time.sleep(pause * (0.5 + random.random() * 0.5))
-                attempt += 1
+        try:
+            while True:
+                try:
+                    reply = serialize.from_json(
+                        self._call("POST", "/v1/jobs", payload), ServerSubmitReply
+                    )
+                    if span is not None:
+                        span.set("job_id", reply.job_id)
+                        span.set("deduped", reply.deduped)
+                    return RemoteJob(self, reply)
+                except RemoteError as exc:
+                    if exc.status != 429 or attempt >= budget:
+                        raise
+                    hint = exc.retry_after if exc.retry_after is not None else 1.0
+                    pause = min(hint, self.RETRY_AFTER_CAP)
+                    time.sleep(pause * (0.5 + random.random() * 0.5))
+                    attempt += 1
+        finally:
+            obs_trace.end(span)
 
     def status(self, job_id: str) -> ServerJobStatus:
         return serialize.from_json(

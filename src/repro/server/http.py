@@ -17,6 +17,7 @@ GET       ``/v1/jobs/<id>/events``    → 200 ``application/x-ndjson`` stream
                                       resumes), closed after the terminal
                                       event
 GET       ``/healthz``                → 200 ServerStats
+GET       ``/metrics``                → 200 Prometheus text exposition
 POST      ``/v1/shutdown``            → 200, then graceful shutdown
 ========  ==========================  =======================================
 
@@ -29,6 +30,7 @@ WorkerPool`, so status polls and event streams stay responsive under load.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -36,7 +38,10 @@ from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api import serialize
-from repro.server.queue import QueueFull, Scheduler, SchedulerClosed
+from repro.obs import logs as obs_logs
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.server.queue import LANES, QueueFull, Scheduler, SchedulerClosed
 from repro.server.wire import (
     TERMINAL_STATES,
     ServerError,
@@ -49,6 +54,27 @@ from repro.server.workers import DEFAULT_JOB_TIMEOUT, WorkerPool
 
 #: Default TCP port (0 = pick an ephemeral port; see ``AnalysisServer.url``).
 DEFAULT_PORT = 8472
+
+_M_HTTP = obs_metrics.REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method and status code.",
+    labelnames=("method", "status"),
+)
+_M_QUEUE_DEPTH = obs_metrics.REGISTRY.gauge(
+    "repro_queue_depth",
+    "Executions waiting per lane (sampled at scrape time).",
+    labelnames=("lane",),
+)
+_M_EXEC_EMA = obs_metrics.REGISTRY.gauge(
+    "repro_exec_ema_seconds",
+    "Exponential moving average of execution wall time (seconds).",
+)
+_M_UPTIME = obs_metrics.REGISTRY.gauge(
+    "repro_uptime_seconds", "Seconds since the scheduler started."
+)
+_M_WORKERS = obs_metrics.REGISTRY.gauge(
+    "repro_workers", "Configured worker slots."
+)
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -68,6 +94,16 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.analysis.verbose:
             BaseHTTPRequestHandler.log_message(self, format, *args)
 
+    def _count_request(self, status: int, **fields) -> None:
+        _M_HTTP.inc(method=self.command, status=str(status))
+        obs_logs.get().log(
+            "http_request",
+            method=self.command,
+            path=self.path.split("?", 1)[0],
+            status=status,
+            **fields,
+        )
+
     def _reply(
         self,
         status: int,
@@ -75,8 +111,10 @@ class _Handler(BaseHTTPRequestHandler):
         *,
         close: bool = False,
         headers: Optional[dict] = None,
+        log_fields: Optional[dict] = None,
     ) -> None:
         body = json.dumps(payload).encode()
+        self._count_request(status, **(log_fields or {}))
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -84,6 +122,15 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         if close:
             self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self._count_request(status)
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -161,6 +208,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if path == "/healthz":
                 return self._healthz()
+            if path == "/metrics":
+                return self._metrics()
             if path.startswith("/v1/jobs/"):
                 parts = path.split("/")
                 # /v1/jobs/<id>[/result|/events]
@@ -232,6 +281,7 @@ class _Handler(BaseHTTPRequestHandler):
                 submit.request,
                 lane=submit.lane,
                 timeout=submit.timeout,
+                trace=submit.trace,
             )
         except QueueFull as exc:
             # Admission control: shed load with an explicit backpressure
@@ -254,6 +304,12 @@ class _Handler(BaseHTTPRequestHandler):
                     position=status.position,
                 )
             ),
+            log_fields={
+                "job_id": job.id,
+                "lane": job.lane,
+                "deduped": job.deduped,
+                "trace_id": (submit.trace or {}).get("trace_id"),
+            },
         )
 
     def _job_or_404(self, job_id: str):
@@ -342,6 +398,24 @@ class _Handler(BaseHTTPRequestHandler):
     def _healthz(self) -> None:
         self._reply(200, serialize.to_json(self.server.analysis.stats()))
 
+    def _metrics(self) -> None:
+        """Prometheus text exposition of the process registry.
+
+        Point-in-time gauges (queue depth, EMA, uptime) are sampled here at
+        scrape time; everything else accumulates at the event sites."""
+        analysis = self.server.analysis
+        depth = analysis.scheduler.queue_depth()
+        for lane in LANES:
+            _M_QUEUE_DEPTH.set(float(depth.get(lane, 0)), lane=lane)
+        _M_EXEC_EMA.set(analysis.scheduler.exec_ema())
+        _M_UPTIME.set(time.time() - analysis.scheduler.started_at)
+        _M_WORKERS.set(float(analysis.pool.jobs))
+        self._reply_text(
+            200,
+            obs_metrics.REGISTRY.render(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+
     def _shutdown(self) -> None:
         self._reply(200, {"schema": 1, "kind": "ServerShutdown"}, close=True)
         self.wfile.flush()
@@ -367,6 +441,8 @@ class AnalysisServer:
         verbose: bool = False,
         max_queue: Optional[int] = None,
         job_timeout: float = DEFAULT_JOB_TIMEOUT,
+        trace_dir: Optional[str] = None,
+        log_stream=None,
     ):
         self.scheduler = Scheduler(max_queue=max_queue)
         self.pool = WorkerPool(
@@ -374,9 +450,42 @@ class AnalysisServer:
         )
         self.verbose = verbose
         self.closing = False
+        self.trace_dir = trace_dir
+        self._installed_tracer: Optional[obs_trace.Tracer] = None
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            if obs_trace.active() is None:
+                # Own the process tracer so the scheduler mints trace ids for
+                # untraced clients too; shut down symmetric (see shutdown()).
+                self._installed_tracer = obs_trace.Tracer()
+                obs_trace.install(self._installed_tracer)
+            self.scheduler.on_complete = self._export_trace
+        if log_stream is not None:
+            obs_logs.configure(log_stream)
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.analysis = self
         self._serve_thread: Optional[threading.Thread] = None
+
+    def _export_trace(self, execution) -> None:
+        """Scheduler completion hook: flush one finished execution's spans.
+
+        One Chrome-trace file per trace id; joiner submits that share the
+        execution land in their own trace files (merge=True appends when a
+        file already exists, e.g. a client reusing one trace for a batch)."""
+        tracer = obs_trace.active()
+        if tracer is None or not execution.trace:
+            return
+        trace_id = execution.trace.get("trace_id")
+        if not trace_id:
+            return
+        spans = tracer.drain(trace_id)
+        if not spans:
+            return
+        path = os.path.join(self.trace_dir, f"trace-{trace_id}.json")
+        try:
+            obs_trace.write_chrome_trace(path, spans, merge=True)
+        except OSError:
+            pass  # a full disk must not fail the job completion path
 
     # ------------------------------------------------------------------ #
     @property
@@ -417,6 +526,26 @@ class AnalysisServer:
         self._httpd.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=10)
+        if self.trace_dir is not None:
+            # Spans not claimed by any per-trace file (server-side roots,
+            # traces cut short by shutdown) still get exported.
+            tracer = obs_trace.active()
+            if tracer is not None:
+                leftovers = tracer.drain()
+                if leftovers:
+                    try:
+                        obs_trace.write_chrome_trace(
+                            os.path.join(self.trace_dir, "trace-server.json"),
+                            leftovers,
+                            merge=True,
+                        )
+                    except OSError:
+                        pass
+            if self._installed_tracer is not None and (
+                obs_trace.active() is self._installed_tracer
+            ):
+                obs_trace.install(None)
+                self._installed_tracer = None
 
     def __enter__(self) -> "AnalysisServer":
         return self.start()
@@ -442,4 +571,6 @@ class AnalysisServer:
             },
             faults=dict(scheduler.faults),
             queue_limit=scheduler.max_queue,
+            exec_ema_seconds=round(scheduler.exec_ema(), 6),
+            metrics=obs_metrics.REGISTRY.flat_counters(),
         )

@@ -27,6 +27,8 @@ from typing import Dict, List, Optional
 
 from repro.analysis.summaries import merge_stats
 from repro.api.service import AnalysisRequest, AnalysisResult
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.server.wire import (
     LANES,
     TERMINAL_STATES,
@@ -36,6 +38,38 @@ from repro.server.wire import (
     ServerJobStatus,
     request_digest,
 )
+
+_M_SUBMITTED = obs_metrics.REGISTRY.counter(
+    "repro_jobs_submitted_total", "Job submissions accepted, per lane.",
+    labelnames=("lane",),
+)
+_M_EXECUTED = obs_metrics.REGISTRY.counter(
+    "repro_jobs_executed_total", "Executions completed (done or failed)."
+)
+_M_DEDUP = obs_metrics.REGISTRY.counter(
+    "repro_dedup_joins_total",
+    "Submissions that joined an existing identical execution.",
+)
+_M_FAULTS = obs_metrics.REGISTRY.counter(
+    "repro_faults_total",
+    "Infrastructure faults by kind (worker_restarts, job_timeouts, "
+    "job_retries, rejections).",
+    labelnames=("kind",),
+)
+_M_QUEUE_WAIT = obs_metrics.REGISTRY.histogram(
+    "repro_queue_wait_seconds", "Enqueue-to-dispatch wait, per lane.",
+    labelnames=("lane",),
+)
+_M_EXEC_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_exec_seconds", "Execution wall-clock seconds (successful attempts)."
+)
+# Pre-seed the fault and lane label sets so every series is present on a
+# scrape from the first request on (CI asserts on their presence).
+for _kind in ("worker_restarts", "job_timeouts", "job_retries", "rejections"):
+    _M_FAULTS.inc(0, kind=_kind)
+for _lane in LANES:
+    _M_SUBMITTED.inc(0, lane=_lane)
+del _kind, _lane
 
 
 @dataclass
@@ -88,6 +122,12 @@ class Execution:
     timeout: Optional[float] = None
     #: Completed execution attempts (retries after infrastructure faults).
     attempts: int = 0
+    #: Trace-propagation context (``{"trace_id": .., "parent_id": ..}``)
+    #: from the submitting client, or minted server-side under
+    #: ``serve --trace-dir``; ``None`` = untraced.
+    trace: Optional[Dict[str, Optional[str]]] = None
+    #: ``time.monotonic()`` at enqueue — start of the queue-wait span.
+    enqueued_mono: float = 0.0
 
 
 class SchedulerClosed(Exception):
@@ -200,8 +240,12 @@ class Scheduler:
         #: job_retries, rejections) — surfaced via /healthz.
         self.faults: Dict[str, int] = {}
         # Exponential moving average of execution wall-clock seconds; feeds
-        # the Retry-After hint on 429 rejections.
+        # the Retry-After hint on 429 rejections (and /healthz
+        # ``exec_ema_seconds``).
         self._ema_seconds = 0.0
+        #: Called (outside the lock) with each execution reaching a terminal
+        #: state — the trace-dir exporter hooks in here.
+        self.on_complete = None
 
     # ------------------------------------------------------------------ #
     # Submission and dedup
@@ -212,6 +256,7 @@ class Scheduler:
         request: AnalysisRequest,
         lane: str = "interactive",
         timeout: Optional[float] = None,
+        trace: Optional[Dict[str, Optional[str]]] = None,
     ) -> Job:
         if lane not in LANES:
             # Validate BEFORE touching any state: failing later (e.g. on the
@@ -231,9 +276,15 @@ class Scheduler:
                 depth = self._queue.depth().get(lane, 0)
                 if depth >= self.max_queue:
                     self.faults["rejections"] = self.faults.get("rejections", 0) + 1
+                    _M_FAULTS.inc(kind="rejections")
                     raise QueueFull(lane, depth, self.max_queue, self._retry_after_hint(depth))
             self.submitted += 1
+            _M_SUBMITTED.inc(lane=lane)
             if execution is None:
+                if trace is None and obs_trace.active() is not None:
+                    # Server-side tracing (``serve --trace-dir``) covers
+                    # untraced clients too: mint a fresh trace per execution.
+                    trace = {"trace_id": obs_trace.new_trace_id(), "parent_id": None}
                 execution = Execution(
                     key=key,
                     spec=spec,
@@ -241,12 +292,34 @@ class Scheduler:
                     lane=lane,
                     seq=next(self._exec_seq),
                     timeout=timeout,
+                    trace=dict(trace) if trace else None,
+                    enqueued_mono=time.monotonic(),
                 )
                 self._active[key] = execution
                 self._queue.push(execution)
                 self._work.notify()
             else:
                 self.dedup_hits += 1
+                _M_DEDUP.inc()
+                if trace is not None:
+                    # The joiner's trace shows an instant child span pointing
+                    # at the shared execution (and its primary trace), so a
+                    # deduped submission is attributable end-to-end as well.
+                    now = time.monotonic()
+                    obs_trace.record(
+                        "dedup-join",
+                        now,
+                        now,
+                        parent=trace,
+                        attrs={
+                            "execution_key": execution.key,
+                            "shared_trace_id": (
+                                execution.trace.get("trace_id")
+                                if execution.trace
+                                else None
+                            ),
+                        },
+                    )
                 if timeout is not None and execution.state == "queued":
                     # The tightest subscriber deadline wins; a join can only
                     # tighten it (loosening would break the earlier caller's
@@ -286,6 +359,20 @@ class Scheduler:
                 if execution is not None:
                     execution.state = "running"
                     execution.started = time.time()
+                    now = time.monotonic()
+                    waited = max(now - execution.enqueued_mono, 0.0)
+                    _M_QUEUE_WAIT.observe(waited, lane=execution.lane)
+                    if execution.trace is not None:
+                        # The lane wait, reconstructed at dispatch: it could
+                        # not be an open span (no thread owns a queued
+                        # execution), so it is recorded retroactively.
+                        obs_trace.record(
+                            "queue-wait",
+                            execution.enqueued_mono,
+                            now,
+                            parent=execution.trace,
+                            attrs={"lane": execution.lane},
+                        )
                     for job in execution.jobs:
                         if not job.cancelled:
                             self._emit(job, "started")
@@ -319,6 +406,9 @@ class Scheduler:
             execution.seconds = seconds
             execution.cache_stats = dict(cache_stats or {})
             self.executed += 1
+            _M_EXECUTED.inc()
+            if seconds > 0:
+                _M_EXEC_SECONDS.observe(seconds)
             if seconds > 0:
                 self._ema_seconds = (
                     seconds
@@ -351,14 +441,28 @@ class Scheduler:
                     if not job.cancelled:
                         self._emit(job, "failed", detail=execution.error.message)
             self._active.pop(execution.key, None)
+            hook = self.on_complete
+        if hook is not None:
+            # Outside the lock: the hook does file I/O (trace export) and
+            # must never stall submitters or event streams.
+            try:
+                hook(execution)
+            except Exception:  # noqa: BLE001 - observability must not break jobs
+                pass
 
     # ------------------------------------------------------------------ #
     # Fault accounting (worker supervisor + admission control)
     # ------------------------------------------------------------------ #
     def count_fault(self, name: str, n: int = 1) -> None:
         """Bump an infrastructure-fault counter (shows up in /healthz)."""
+        _M_FAULTS.inc(n, kind=name)
         with self._lock:
             self.faults[name] = self.faults.get(name, 0) + n
+
+    def exec_ema(self) -> float:
+        """The execution-seconds EMA behind the Retry-After hint."""
+        with self._lock:
+            return self._ema_seconds
 
     def note_retry(self, execution: Execution, detail: str) -> None:
         """Emit a non-terminal ``retrying`` event to every live subscriber."""

@@ -273,6 +273,11 @@ class ServerSubmit:
     #: default, ``--job-timeout``).  When identical submissions share one
     #: execution, the tightest subscriber deadline wins.
     timeout: Optional[float] = None
+    #: Optional trace-propagation context (``{"trace_id": ..,
+    #: "parent_id": ..}``) from :mod:`repro.obs.trace`: the server parents
+    #: its queue-wait/dispatch/worker spans under the client's submit span,
+    #: so one exported trace covers the job end-to-end.
+    trace: Optional[Dict[str, Optional[str]]] = None
 
     def validate(self) -> None:
         if not isinstance(self.project, ProjectSpec):
@@ -290,6 +295,15 @@ class ServerSubmit:
         _require_bool(request.all_modes, "AnalysisRequest.all_modes")
         _require_bool(request.check_guidelines, "AnalysisRequest.check_guidelines")
         _require_positive_number(self.timeout, "ServerSubmit.timeout")
+        if self.trace is not None:
+            if not isinstance(self.trace, dict):
+                raise WireError(
+                    "ServerSubmit.trace must be an object or null, got "
+                    f"{type(self.trace).__name__}"
+                )
+            for key, value in self.trace.items():
+                _require_str(key, "ServerSubmit.trace key")
+                _require_str(value, f"ServerSubmit.trace[{key!r}]", optional=True)
         if self.lane not in LANES:
             raise WireError(f"unknown lane {self.lane!r}; available: {LANES}")
 
@@ -302,17 +316,21 @@ def _dump_server_submit(submit: ServerSubmit) -> Dict[str, Any]:
             "request": _dump_analysis_request(submit.request),
             "lane": submit.lane,
             "timeout": submit.timeout,
+            "trace": dict(submit.trace) if submit.trace is not None else None,
         },
     )
 
 
 def _load_server_submit(data: Dict[str, Any]) -> ServerSubmit:
+    trace = data.get("trace")
     return ServerSubmit(
         project=serialize.from_json(data["project"], ProjectSpec),
         request=serialize.from_json(data["request"], AnalysisRequest),
         lane=data["lane"],
         # Absent in pre-fault-tolerance envelopes: default, don't reject.
         timeout=data.get("timeout"),
+        # Absent pre-observability; dict-ness is enforced in validate().
+        trace=dict(trace) if isinstance(trace, dict) else trace,
     )
 
 
@@ -487,6 +505,13 @@ class ServerStats:
     #: Admission-control bound on queued executions per lane (``None`` =
     #: unbounded).
     queue_limit: Optional[int] = None
+    #: Exponential moving average of execution wall-clock seconds — the
+    #: signal behind the 429 Retry-After hint, now exposed directly.
+    exec_ema_seconds: float = 0.0
+    #: Flat counter/gauge snapshot from the process metrics registry
+    #: (series name, Prometheus label syntax → value); the full exposition
+    #: lives on ``GET /metrics``.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
 
 def _dump_server_stats(stats: ServerStats) -> Dict[str, Any]:
@@ -504,6 +529,8 @@ def _dump_server_stats(stats: ServerStats) -> Dict[str, Any]:
             "phase_seconds": dict(stats.phase_seconds),
             "faults": dict(stats.faults),
             "queue_limit": stats.queue_limit,
+            "exec_ema_seconds": stats.exec_ema_seconds,
+            "metrics": dict(stats.metrics),
         },
     )
 
@@ -522,6 +549,9 @@ def _load_server_stats(data: Dict[str, Any]) -> ServerStats:
         # Absent in pre-fault-tolerance envelopes: default, don't reject.
         faults=dict(data.get("faults", {})),
         queue_limit=data.get("queue_limit"),
+        # Absent pre-observability: default, don't reject.
+        exec_ema_seconds=data.get("exec_ema_seconds", 0.0),
+        metrics=dict(data.get("metrics", {})),
     )
 
 

@@ -42,6 +42,9 @@ from repro.api import serialize
 from repro.api.service import AnalysisRequest, AnalysisResult, AnalysisService
 from repro.cache import SummaryStore
 from repro.errors import ReproError
+from repro.obs import logs as obs_logs
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.server.queue import Execution, Scheduler
 from repro.server.wire import ProjectSpec, ServerError
 from repro.wcet import batch
@@ -109,9 +112,30 @@ def _maybe_inject_fault(payload: Tuple[dict, dict, int]) -> None:
     faults.on_job(payload)
 
 
-def _serve(warm: _WarmServices, payload: Tuple[dict, dict, int]) -> tuple:
-    """Execute one wire-encoded (spec, request, attempt) job; never raises."""
-    spec_json, request_json, _attempt = payload
+def _serve(warm: _WarmServices, payload: tuple, ship_obs: bool = False) -> tuple:
+    """Execute one wire-encoded (spec, request, attempt[, trace]) job.
+
+    Never raises.  Returns ``(result_json, error, delta, seconds, obs)``;
+    with ``ship_obs`` (worker-process mode), ``obs`` carries the job's
+    serialised spans and the registry's metric delta back over the pipe —
+    the supervisor merges both into the server process.  Inline mode records
+    straight into the server's own tracer/registry and ships ``None``.
+    """
+    spec_json, request_json, _attempt = payload[0], payload[1], payload[2]
+    trace_ctx = payload[3] if len(payload) > 3 else None
+    metrics_before = obs_metrics.REGISTRY.dump() if ship_obs else None
+    local_tracer = None
+    if trace_ctx is not None and obs_trace.active() is None:
+        # Worker process: a per-job tracer continues the propagated trace.
+        local_tracer = obs_trace.Tracer(trace_id=trace_ctx.get("trace_id"))
+        obs_trace.install(local_tracer)
+    exec_span = (
+        obs_trace.begin("worker-execute", parent=trace_ctx)
+        if trace_ctx is not None
+        else None
+    )
+    if exec_span is not None:
+        exec_span.set("attempt", _attempt)
     before = warm.cache.stats()
     started = time.perf_counter()
     try:
@@ -130,6 +154,7 @@ def _serve(warm: _WarmServices, payload: Tuple[dict, dict, int]) -> tuple:
     seconds = time.perf_counter() - started
     after = warm.cache.stats()
     delta = {key: after[key] - before.get(key, 0) for key in after}
+    flush_span = None if exec_span is None else obs_trace.begin("cache-flush")
     try:
         warm.cache.flush()
     except Exception as exc:  # noqa: BLE001 - flush failure must not kill the job
@@ -137,7 +162,21 @@ def _serve(warm: _WarmServices, payload: Tuple[dict, dict, int]) -> tuple:
         # quarantined bucket) only costs cache warmth, never the answer.
         if error is None:
             delta["flush_errors"] = delta.get("flush_errors", 0) + 1
-    return result_json, error, delta, seconds
+    obs_trace.end(flush_span)
+    obs_trace.end(exec_span)
+    obs = None
+    if local_tracer is not None:
+        obs_trace.install(None)
+    if ship_obs:
+        obs = {
+            "spans": (
+                [span.to_json() for span in local_tracer.drain()]
+                if local_tracer is not None
+                else []
+            ),
+            "metrics": obs_metrics.diff(metrics_before, obs_metrics.REGISTRY.dump()),
+        }
+    return result_json, error, delta, seconds, obs
 
 
 # --------------------------------------------------------------------------- #
@@ -158,6 +197,10 @@ def _worker_main(
         from repro.testing import faults
 
         faults.mark_worker()
+    # A forked worker inherits the server's installed tracer; spans recorded
+    # into that copy would silently vanish.  Drop it so _serve installs its
+    # own per-job tracer and ships spans back over the pipe instead.
+    obs_trace.install(None)
     # Reuse the batch pool's initialiser so worker cache wiring has exactly
     # one implementation, then layer the warm-service table on top of it.
     batch._init_batch_worker(cache_dir)
@@ -170,7 +213,7 @@ def _worker_main(
         if payload is None:
             return
         try:
-            conn.send(_serve(warm, payload))
+            conn.send(_serve(warm, payload, ship_obs=True))
         except (BrokenPipeError, OSError):
             return
 
@@ -213,6 +256,7 @@ class _SupervisedWorker:
         child_conn.close()
         self._process = process
         self._conn = parent_conn
+        obs_logs.get().log("worker_spawn", worker=self.index, worker_pid=process.pid)
 
     def run(self, payload: tuple, timeout: float) -> Tuple[str, object]:
         """Run one job; returns ``(status, value)``.
@@ -244,6 +288,9 @@ class _SupervisedWorker:
     def kill(self) -> None:
         """SIGKILL the worker and drop the pipe (respawn happens in ensure)."""
         if self._process is not None and self._process.is_alive():
+            obs_logs.get().log(
+                "worker_kill", worker=self.index, worker_pid=self._process.pid
+            )
             self._process.kill()
             self._process.join(timeout=WORKER_STOP_GRACE)
         self._discard()
@@ -333,20 +380,54 @@ class WorkerPool:
         self, execution: Execution, worker: Optional[_SupervisedWorker]
     ) -> None:
         timeout = execution.timeout if execution.timeout is not None else self.job_timeout
+        logger = obs_logs.get()
+        trace_id = execution.trace.get("trace_id") if execution.trace else None
+        # The dispatch span covers every attempt (retries included); the
+        # worker-execute spans recorded inside _serve parent under it.
+        dispatch_span = (
+            obs_trace.begin(
+                "dispatch",
+                parent=execution.trace,
+                attrs={"lane": execution.lane, "execution_key": execution.key},
+            )
+            if execution.trace is not None
+            else None
+        )
+        trace_ctx = (
+            dispatch_span.context() if dispatch_span is not None else execution.trace
+        )
+
+        def finish_dispatch(attempts: int) -> None:
+            # The span must land in the tracer *before* complete() runs the
+            # trace-dir export hook, or it would miss its own trace's file.
+            if dispatch_span is not None:
+                dispatch_span.set("attempts", attempts)
+                obs_trace.end(dispatch_span)
+
         attempt = 0
         while True:
             payload = (
                 serialize.to_json(execution.spec),
                 serialize.to_json(execution.request),
                 attempt,
+                trace_ctx,
             )
             status, detail = self._attempt(payload, worker, timeout)
             if status == "ok":
-                result_json, error, delta, seconds = detail
+                result_json, error, delta, seconds, obs = detail
+                self._merge_obs(obs)
+                finish_dispatch(attempt + 1)
                 if result_json is not None:
                     result: Optional[AnalysisResult] = serialize.from_json(result_json)
                     self.scheduler.complete(
                         execution, result=result, cache_stats=delta, seconds=seconds
+                    )
+                    logger.log(
+                        "job_done",
+                        execution_key=execution.key,
+                        trace_id=trace_id,
+                        seconds=round(seconds, 6),
+                        attempts=attempt + 1,
                     )
                 else:
                     # Deterministic failure (ReproError or a bug in the
@@ -358,6 +439,13 @@ class WorkerPool:
                         error=ServerError(error=kind, message=message),
                         cache_stats=delta,
                         seconds=seconds,
+                    )
+                    logger.log(
+                        "job_failed",
+                        execution_key=execution.key,
+                        trace_id=trace_id,
+                        error=kind,
+                        attempts=attempt + 1,
                     )
                 return
             # Infrastructure fault: bounded retry with exponential backoff,
@@ -371,6 +459,14 @@ class WorkerPool:
                 self.scheduler.count_fault("job_timeouts")
                 budget = self.timeout_retries
                 kind = "JobTimeout"
+            logger.log(
+                "job_fault",
+                execution_key=execution.key,
+                trace_id=trace_id,
+                kind=kind,
+                attempt=attempt + 1,
+                detail=str(detail),
+            )
             if attempt < budget and not self._closing:
                 self.scheduler.count_fault("job_retries")
                 self.scheduler.note_retry(
@@ -379,6 +475,7 @@ class WorkerPool:
                 time.sleep(RETRY_BACKOFF * (2 ** attempt))
                 attempt += 1
                 continue
+            finish_dispatch(attempt + 1)
             self.scheduler.complete(
                 execution,
                 error=ServerError(
@@ -386,7 +483,28 @@ class WorkerPool:
                     message=f"{detail} (after {attempt + 1} attempt(s))",
                 ),
             )
+            logger.log(
+                "job_failed",
+                execution_key=execution.key,
+                trace_id=trace_id,
+                error=kind,
+                attempts=attempt + 1,
+            )
             return
+
+    @staticmethod
+    def _merge_obs(obs: Optional[dict]) -> None:
+        """Fold a worker's shipped spans/metric deltas into this process."""
+        if not obs:
+            return
+        spans = obs.get("spans")
+        if spans:
+            tracer = obs_trace.active()
+            if tracer is not None:
+                tracer.add(spans)
+        delta = obs.get("metrics")
+        if delta:
+            obs_metrics.REGISTRY.merge(delta)
 
     def _attempt(
         self,

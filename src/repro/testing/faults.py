@@ -105,7 +105,7 @@ def decide(seed: int, kind: str, key: str) -> float:
     return int.from_bytes(digest[:8], "big") / 2**64
 
 
-def on_job(payload: Tuple[dict, dict, int]) -> None:
+def on_job(payload: Tuple) -> None:
     """Injection point called by the worker at the start of every job.
 
     Fires at most one fault per call; a kill draw shadows a hang draw so the
@@ -116,7 +116,9 @@ def on_job(payload: Tuple[dict, dict, int]) -> None:
     plan = active()
     if plan is None:
         return
-    spec_json, request_json, attempt = payload
+    # The payload grew a trailing trace-context slot; index rather than
+    # unpack so fault decisions stay keyed on (spec, request, attempt) only.
+    spec_json, request_json, attempt = payload[0], payload[1], payload[2]
     if plan.first_attempt_only and attempt > 0:
         return
     key = json.dumps([spec_json, request_json], sort_keys=True)

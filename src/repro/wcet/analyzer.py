@@ -30,6 +30,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.errors import (
     AnnotationError,
     CFGError,
@@ -73,6 +75,10 @@ from repro.wcet.report import (
     WCETReport,
 )
 
+_M_PIVOTS = obs_metrics.REGISTRY.counter(
+    "repro_simplex_pivots_total", "Simplex pivots spent in IPET path analysis."
+)
+
 
 class _PhaseClock:
     """Exclusive per-phase wall-clock accounting.
@@ -101,9 +107,11 @@ class _PhaseClock:
     def phase(self, name: str):
         self._accrue(time.perf_counter())
         self._stack.append(name)
+        span = obs_trace.begin(f"phase:{name}")
         try:
             yield
         finally:
+            obs_trace.end(span)
             self._accrue(time.perf_counter())
             self._stack.pop()
 
@@ -372,7 +380,8 @@ class WCETAnalyzer:
             )
             summary = run.summaries.get(*key)
             if summary is not None:
-                return self._install_summary(summary, context, run)
+                with obs_trace.span("summary-replay", attrs={"function": name}):
+                    return self._install_summary(summary, context, run)
         challenge_marks = (len(run.challenges.tier_one), len(run.challenges.tier_two))
         known_reports = set(run.reports)
         journal_mark = len(run.context_journal)
@@ -483,6 +492,7 @@ class WCETAnalyzer:
             }
 
             ipet = IPETBuilder(cfg, loops, engine=self.options.engine)
+            solve_span = obs_trace.begin("simplex-solve", attrs={"function": name})
             if self.options.compute_bcet:
                 # Both objectives share one constraint system (and, under the
                 # bespoke simplex, one phase-1 feasibility basis).
@@ -496,11 +506,7 @@ class WCETAnalyzer:
                     backend=self.options.ilp_backend,
                 )
                 bcet_cycles = bcet_result.bound_cycles
-                run.counters["path analysis"] = (
-                    run.counters.get("path analysis", 0)
-                    + wcet_result.ilp_pivots
-                    + bcet_result.ilp_pivots
-                )
+                pivots = wcet_result.ilp_pivots + bcet_result.ilp_pivots
             else:
                 wcet_result = ipet.solve(
                     table.wcet_weights(),
@@ -512,9 +518,14 @@ class WCETAnalyzer:
                     backend=self.options.ilp_backend,
                 )
                 bcet_cycles = 0
-                run.counters["path analysis"] = (
-                    run.counters.get("path analysis", 0) + wcet_result.ilp_pivots
-                )
+                pivots = wcet_result.ilp_pivots
+            if solve_span is not None:
+                solve_span.set("pivots", pivots)
+            obs_trace.end(solve_span)
+            run.counters["path analysis"] = (
+                run.counters.get("path analysis", 0) + pivots
+            )
+            _M_PIVOTS.inc(pivots)
 
         unknown_accesses = sum(1 for info in accesses.values() if info.unknown)
         imprecise_accesses = sum(
